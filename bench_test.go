@@ -1,0 +1,166 @@
+package repro
+
+// One testing.B benchmark per table and figure of the paper's
+// evaluation, as indexed in DESIGN.md §3 — each drives the corresponding
+// experiment runner — plus micro-benchmarks for the load-bearing
+// substrate operations (generation, partitioning, simulation, dynamic
+// updates).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use the Quick option (two datasets, reduced sweeps) so a
+// full pass stays in CPU-minutes; `go run ./cmd/hyve-bench` regenerates
+// the artifacts at full scale.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := experiments.Options{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table and figure benchmarks (one per paper artifact) --------------
+
+func BenchmarkTable1Navg(b *testing.B)            { benchExperiment(b, "table1") }
+func BenchmarkTable3BankConfigs(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkTable4SRAMSweep(b *testing.B)       { benchExperiment(b, "table4") }
+func BenchmarkFig9SeqAccess(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10VertexEDP(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkFig11VertexStorage(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12Preprocess(b *testing.B)       { benchExperiment(b, "fig12") }
+func BenchmarkFig13CellBits(b *testing.B)         { benchExperiment(b, "fig13") }
+func BenchmarkFig14DataSharing(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15PowerGating(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkFig16EnergyEfficiency(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17Breakdown(b *testing.B)        { benchExperiment(b, "fig17") }
+func BenchmarkFig18AbsolutePerf(b *testing.B)     { benchExperiment(b, "fig18") }
+func BenchmarkFig19PrepCompare(b *testing.B)      { benchExperiment(b, "fig19") }
+func BenchmarkFig20Dynamic(b *testing.B)          { benchExperiment(b, "fig20") }
+func BenchmarkFig21GraphR(b *testing.B)           { benchExperiment(b, "fig21") }
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := graph.GenerateRMAT(65_536, 524_288, graph.DefaultRMAT, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkRMATGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.GenerateRMAT(65_536, 524_288, graph.DefaultRMAT, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(524_288, "edges/op")
+}
+
+func BenchmarkPartitionBuild(b *testing.B) {
+	g := benchGraph(b)
+	asg, err := partition.NewHashed(g.NumVertices, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Build(g, asg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges/op")
+}
+
+func BenchmarkEdgeCentricIteration(b *testing.B) {
+	g := benchGraph(b)
+	s, err := algo.NewState(algo.NewPageRank(), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunIteration()
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges/op")
+}
+
+func BenchmarkSimulateHyVEOptPR(b *testing.B) {
+	g := benchGraph(b)
+	w := core.Workload{DatasetName: "bench", Graph: g, Program: algo.NewPageRank(), Iterations: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Simulate(core.HyVEOpt(), w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicReplayHyVE(b *testing.B) {
+	g := benchGraph(b)
+	reqs, err := dynamic.GenerateRequests(g, 100_000, dynamic.PaperMix, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asg, err := partition.NewHashed(g.NumVertices, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := dynamic.NewHyVEStore(g, asg, 0.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := dynamic.Replay(s, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "requests/op")
+}
+
+func BenchmarkDynamicReplayGraphR(b *testing.B) {
+	g := benchGraph(b)
+	reqs, err := dynamic.GenerateRequests(g, 100_000, dynamic.PaperMix, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := dynamic.NewGraphRStore(g, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := dynamic.Replay(s, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "requests/op")
+}

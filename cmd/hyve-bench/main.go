@@ -1,0 +1,59 @@
+// Command hyve-bench regenerates the paper's evaluation artifacts: every
+// table and figure, or a selected one, written as aligned text tables.
+//
+// Usage:
+//
+//	hyve-bench                 # run everything (full datasets)
+//	hyve-bench -quick          # small datasets, reduced sweeps
+//	hyve-bench -run fig16      # one artifact
+//	hyve-bench -list           # enumerate artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "run a single experiment by id (e.g. fig16, table4)")
+		quick = flag.Bool("quick", false, "reduced datasets and sweeps")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick}
+	todo := experiments.All()
+	if *run != "" {
+		e, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for i, e := range todo {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,169 @@
+// Command hyve-prep performs HyVE's one-shot preprocessing: read a graph
+// (SNAP-style text edge list, the repository's binary format, or a
+// synthetic generator spec), apply interval-block partitioning, and
+// report layout statistics — or write the graph back out in binary form.
+//
+// Usage:
+//
+//	hyve-prep -in graph.txt -p 16 -stats
+//	hyve-prep -gen rmat:100000:800000 -out graph.bin
+//	hyve-prep -in graph.bin -p 32 -occupancy 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input graph (.txt edge list or .bin)")
+		gen       = flag.String("gen", "", "synthetic spec: rmat:V:E[:seed] or uniform:V:E[:seed]")
+		out       = flag.String("out", "", "write the graph in binary form to this path")
+		p         = flag.Int("p", 16, "number of intervals for partitioning stats")
+		hashed    = flag.Bool("hashed", true, "use hashed (balanced) interval assignment")
+		occupancy = flag.Int("occupancy", 0, "also report N-wide block occupancy (e.g. 8 for GraphR stats)")
+		stats     = flag.Bool("stats", true, "print graph and partition statistics")
+		image     = flag.String("image", "", "write the §3.4 edge-memory byte image (blocks + headers) to this path")
+	)
+	flag.Parse()
+
+	if err := run(*in, *gen, *out, *p, *hashed, *occupancy, *stats, *image); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(in, gen, out string, p int, hashed bool, occupancy int, stats bool, imagePath string) error {
+	g, err := load(in, gen)
+	if err != nil {
+		return err
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if stats {
+		s := graph.ComputeStats(g)
+		fmt.Printf("graph: %d vertices, %d edges, avg degree %.2f, max out/in %d/%d, gini %.3f, self-loops %d\n",
+			s.NumVertices, s.NumEdges, s.AvgDegree, s.MaxOutDeg, s.MaxInDeg, s.GiniOut, s.SelfLoops)
+	}
+	if p > 0 && p <= g.NumVertices {
+		var asg partition.Assigner
+		if hashed {
+			asg, err = partition.NewHashed(g.NumVertices, p)
+		} else {
+			asg, err = partition.NewContiguous(g.NumVertices, p)
+		}
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		grid, err := partition.Build(g, asg)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		counts := grid.IntervalEdgeCounts()
+		var max int64
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		avg := float64(g.NumEdges()) / float64(p)
+		fmt.Printf("partition: P=%d (%d blocks), %d non-empty, built in %v (%.1f Medges/s)\n",
+			p, p*p, grid.NonEmpty(), elapsed.Round(time.Microsecond),
+			float64(g.NumEdges())/elapsed.Seconds()/1e6)
+		fmt.Printf("balance: max interval %d edges vs mean %.0f (imbalance %.2fx)\n",
+			max, avg, float64(max)/avg)
+		if imagePath != "" {
+			img, _ := core.BuildEdgeImage(grid)
+			if err := os.WriteFile(imagePath, img, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote edge-memory image: %s (%d bytes, %d block headers)\n", imagePath, len(img), p*p)
+		}
+	}
+	if imagePath != "" && (p <= 0 || p > g.NumVertices) {
+		return fmt.Errorf("-image needs a valid -p partition")
+	}
+	if occupancy > 0 {
+		occ, err := partition.ComputeOccupancy(g, occupancy)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("occupancy (%d-wide blocks): %d non-empty, Navg %.2f, max %d\n",
+			occupancy, occ.NonEmpty, occ.AvgEdgesPerBlk, occ.MaxEdgesPerBlk)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := graph.WriteBinary(f, g); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func load(in, gen string) (*graph.Graph, error) {
+	switch {
+	case in != "" && gen != "":
+		return nil, fmt.Errorf("specify -in or -gen, not both")
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(in, ".bin") {
+			return graph.ReadBinary(f)
+		}
+		return graph.ParseEdgeList(f)
+	case gen != "":
+		return generate(gen)
+	default:
+		return nil, fmt.Errorf("specify -in FILE or -gen SPEC")
+	}
+}
+
+func generate(spec string) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 3 {
+		return nil, fmt.Errorf("bad -gen spec %q (want kind:V:E[:seed])", spec)
+	}
+	v, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad vertex count: %w", err)
+	}
+	e, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("bad edge count: %w", err)
+	}
+	seed := uint64(1)
+	if len(parts) >= 4 {
+		s, err := strconv.ParseUint(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed: %w", err)
+		}
+		seed = s
+	}
+	switch parts[0] {
+	case "rmat":
+		return graph.GenerateRMAT(v, e, graph.DefaultRMAT, seed)
+	case "uniform":
+		return graph.GenerateUniform(v, e, seed)
+	}
+	return nil, fmt.Errorf("unknown generator %q (want rmat or uniform)", parts[0])
+}

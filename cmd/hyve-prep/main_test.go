@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateSpecs(t *testing.T) {
+	g, err := generate("rmat:1000:5000:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 1000 || g.NumEdges() != 5000 {
+		t.Errorf("rmat spec produced %d/%d", g.NumVertices, g.NumEdges())
+	}
+	if _, err := generate("uniform:100:300"); err != nil {
+		t.Errorf("uniform spec: %v", err)
+	}
+	for _, bad := range []string{"rmat:1000", "rmat:x:5", "rmat:5:x", "rmat:5:5:x", "weird:1:2", ""} {
+		if _, err := generate(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestLoadDispatch(t *testing.T) {
+	if _, err := load("", ""); err == nil {
+		t.Error("no input accepted")
+	}
+	if _, err := load("a.txt", "rmat:1:1"); err == nil {
+		t.Error("both inputs accepted")
+	}
+	if _, err := load("/does/not/exist.txt", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	g, err := load("", "uniform:50:100:3")
+	if err != nil || g.NumEdges() != 100 {
+		t.Errorf("generator load failed: %v", err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.bin")
+	img := filepath.Join(dir, "g.img")
+	if err := run("", "rmat:2000:9000:4", out, 16, true, 8, true, img); err != nil {
+		t.Fatalf("run (generate+write): %v", err)
+	}
+	info, err := os.Stat(img)
+	if err != nil {
+		t.Fatalf("edge image not written: %v", err)
+	}
+	// 9000 edges × 8B + 256 headers × 12B.
+	if want := int64(9000*8 + 256*12); info.Size() != want {
+		t.Fatalf("image size %d, want %d", info.Size(), want)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("binary not written: %v", err)
+	}
+	// Read the binary back through the full pipeline.
+	if err := run(out, "", "", 8, false, 0, true, ""); err != nil {
+		t.Fatalf("run (read binary): %v", err)
+	}
+	// Text edge-list path.
+	txt := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(txt, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(txt, "", "", 3, true, 2, true, ""); err != nil {
+		t.Fatalf("run (text): %v", err)
+	}
+}

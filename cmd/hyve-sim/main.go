@@ -1,0 +1,129 @@
+// Command hyve-sim runs a single architecture simulation: one dataset,
+// one algorithm, one memory-hierarchy configuration, and prints the
+// timing/energy report.
+//
+// Usage:
+//
+//	hyve-sim -dataset YT -algo PR -config hyve-opt
+//	hyve-sim -dataset TW -algo BFS -config sd -sram 4
+//	hyve-sim -dataset LJ -algo SSSP -config graphr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/graphr"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "YT", "dataset: YT, WK, AS, LJ, TW")
+		algon   = flag.String("algo", "PR", "algorithm: PR, BFS, CC, SSSP, SpMV")
+		config  = flag.String("config", "hyve-opt", "configuration: hyve, hyve-opt, sd, dram, reram, graphr, cpu, cpu-opt")
+		sramMB  = flag.Int64("sram", 2, "per-PU on-chip vertex memory in MB (accelerator configs)")
+		verbose = flag.Bool("v", false, "print per-phase detail")
+	)
+	flag.Parse()
+
+	if err := runOne(*dataset, *algon, *config, *sramMB, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runOne(dataset, algon, config string, sramMB int64, verbose bool) error {
+	d, err := graph.DatasetByName(dataset)
+	if err != nil {
+		return err
+	}
+	p, err := algo.ByName(algon)
+	if err != nil {
+		return err
+	}
+	w, err := core.WorkloadFor(d, p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s (%s): %d vertices, %d edges (full scale %d/%d, 1/%d instance)\n",
+		d.Name, d.Long, w.Graph.NumVertices, w.Graph.NumEdges(), d.FullVertices, d.FullEdges, d.Scale)
+
+	var rep *energy.Report
+	var detail *core.Detail
+	switch config {
+	case "graphr":
+		r, err := graphr.Simulate(graphr.Default(), w)
+		if err != nil {
+			return err
+		}
+		rep = &r.Report
+		fmt.Printf("GraphR: %d non-empty 8×8 blocks, Navg %.2f\n", r.Detail.NonEmptyBlocks, r.Detail.Navg)
+	case "cpu":
+		if rep, err = cpusim.Simulate(cpusim.NXgraph(), w); err != nil {
+			return err
+		}
+	case "cpu-opt":
+		if rep, err = cpusim.Simulate(cpusim.Galois(), w); err != nil {
+			return err
+		}
+	default:
+		cfg, err := accConfig(config)
+		if err != nil {
+			return err
+		}
+		if cfg.UseOnChipSRAM {
+			cfg.SRAMBytes = sramMB << 20
+		}
+		r, err := core.Simulate(cfg, w)
+		if err != nil {
+			return err
+		}
+		rep = &r.Report
+		detail = &r.Detail
+	}
+
+	fmt.Printf("config:      %s\n", rep.Config)
+	fmt.Printf("iterations:  %d\n", rep.Iterations)
+	fmt.Printf("time:        %v\n", rep.Time)
+	fmt.Printf("energy:      %v\n", rep.Energy.Total())
+	fmt.Printf("avg power:   %v\n", rep.AvgPower())
+	fmt.Printf("throughput:  %.1f MTEPS\n", rep.MTEPS())
+	fmt.Printf("efficiency:  %.1f MTEPS/W\n", rep.MTEPSPerWatt())
+	fmt.Printf("breakdown:   %v\n", &rep.Energy)
+
+	if verbose && detail != nil {
+		fmt.Printf("\nP=%d intervals, %d×%d super blocks, %d iterations\n",
+			detail.P, detail.SuperBlockSide, detail.SuperBlockSide, detail.Iterations)
+		fmt.Printf("per-iteration: load %v, process %v, writeback %v, overhead %v\n",
+			detail.LoadTime, detail.ProcessTime, detail.WritebackTime, detail.OverheadTime)
+		fmt.Printf("off-chip vertex bytes/iter: src %d, dst %d, writeback %d\n",
+			detail.SrcLoadBytes, detail.DstLoadBytes, detail.WritebackBytes)
+		if detail.Gate.Transitions > 0 {
+			fmt.Printf("power gating: %d transitions, saved %v\n",
+				detail.Gate.Transitions, detail.Gate.UngatedEnergy-detail.Gate.GatedEnergy)
+		}
+	}
+	return nil
+}
+
+func accConfig(name string) (core.Config, error) {
+	switch name {
+	case "hyve":
+		return core.HyVE(), nil
+	case "hyve-opt":
+		return core.HyVEOpt(), nil
+	case "sd":
+		return core.SRAMDRAM(), nil
+	case "dram":
+		return core.AccDRAM(), nil
+	case "reram":
+		return core.AccReRAM(), nil
+	}
+	return core.Config{}, fmt.Errorf("unknown config %q (want hyve, hyve-opt, sd, dram, reram, graphr, cpu, cpu-opt)", name)
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestAccConfig(t *testing.T) {
+	for _, name := range []string{"hyve", "hyve-opt", "sd", "dram", "reram"} {
+		cfg, err := accConfig(name)
+		if err != nil {
+			t.Errorf("accConfig(%s): %v", name, err)
+			continue
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("accConfig(%s) invalid: %v", name, err)
+		}
+	}
+	if _, err := accConfig("nope"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestRunOneSmokesEveryConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	for _, config := range []string{"hyve-opt", "sd", "graphr", "cpu", "cpu-opt"} {
+		if err := runOne("YT", "PR", config, 2, true); err != nil {
+			t.Errorf("runOne(YT, PR, %s): %v", config, err)
+		}
+	}
+	if err := runOne("nope", "PR", "hyve", 2, false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := runOne("YT", "nope", "hyve", 2, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Command hyve-trace dumps the HyVE controller's off-chip access trace
+// for one iteration of Algorithm 2 — every edge-block read and vertex
+// interval transfer with byte-exact addresses against the §3.4 memory
+// images — as CSV, or summarized.
+//
+// Usage:
+//
+//	hyve-trace -dataset YT -algo PR -config hyve-opt -format summary
+//	hyve-trace -dataset WK -algo BFS -format csv -limit 100 > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "YT", "dataset: YT, WK, AS, LJ, TW")
+		algon   = flag.String("algo", "PR", "algorithm: PR, BFS, CC, SSSP, SpMV")
+		config  = flag.String("config", "hyve-opt", "configuration: hyve, hyve-opt, sd")
+		format  = flag.String("format", "summary", "output: csv or summary")
+		limit   = flag.Int64("limit", 0, "emit at most this many CSV rows (0 = all)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *dataset, *algon, *config, *format, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, dataset, algon, config, format string, limit int64) error {
+	d, err := graph.DatasetByName(dataset)
+	if err != nil {
+		return err
+	}
+	prog, err := algo.ByName(algon)
+	if err != nil {
+		return err
+	}
+	wl, err := core.WorkloadFor(d, prog)
+	if err != nil {
+		return err
+	}
+	var cfg core.Config
+	switch config {
+	case "hyve":
+		cfg = core.HyVE()
+	case "hyve-opt":
+		cfg = core.HyVEOpt()
+	case "sd":
+		cfg = core.SRAMDRAM()
+	default:
+		return fmt.Errorf("unknown config %q (tracing needs the on-chip hierarchy: hyve, hyve-opt, sd)", config)
+	}
+
+	switch format {
+	case "csv":
+		return dumpCSV(w, cfg, wl, limit)
+	case "summary":
+		return summarize(w, cfg, wl)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or summary)", format)
+	}
+}
+
+func dumpCSV(w io.Writer, cfg core.Config, wl core.Workload, limit int64) error {
+	fmt.Fprintln(w, "kind,addr,bytes,pu,blockx,blocky,interval,sbx,sby,step")
+	var emitted int64
+	return core.TraceIteration(cfg, wl, func(a core.Access) {
+		if limit > 0 && emitted >= limit {
+			return
+		}
+		emitted++
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			a.Kind, a.Addr, a.Bytes, a.PU, a.BlockX, a.BlockY, a.Interval,
+			a.SuperBlockX, a.SuperBlockY, a.Step)
+	})
+}
+
+func summarize(w io.Writer, cfg core.Config, wl core.Workload) error {
+	type agg struct {
+		count int64
+		bytes int64
+	}
+	byKind := map[core.AccessKind]*agg{}
+	var total agg
+	err := core.TraceIteration(cfg, wl, func(a core.Access) {
+		k := byKind[a.Kind]
+		if k == nil {
+			k = &agg{}
+			byKind[a.Kind] = k
+		}
+		k.count++
+		k.bytes += a.Bytes
+		total.count++
+		total.bytes += a.Bytes
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace of one %s iteration on %s under %s\n", wl.Program.Name(), wl.DatasetName, cfg.Name)
+	for _, kind := range []core.AccessKind{0, 1, 2, 3} {
+		if k := byKind[kind]; k != nil {
+			fmt.Fprintf(w, "  %-16s %10d accesses  %14d bytes\n", kind, k.count, k.bytes)
+		}
+	}
+	fmt.Fprintf(w, "  %-16s %10d accesses  %14d bytes\n", "total", total.count, total.bytes)
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "YT", "PR", "hyve-opt", "summary", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"edge-block-read", "source-load", "dest-load", "dest-writeback", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "YT", "BFS", "hyve", "csv", 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 11 { // header + 10 rows
+		t.Errorf("got %d lines, want 11", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "kind,addr,bytes") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], ",") {
+		t.Errorf("bad row: %s", lines[1])
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", "PR", "hyve", "summary", 0); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run(&buf, "YT", "nope", "hyve", "summary", 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(&buf, "YT", "PR", "dram", "summary", 0); err == nil {
+		t.Error("SRAM-less config accepted for tracing")
+	}
+	if err := run(&buf, "YT", "PR", "hyve", "nope", 0); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "HyVE: Hybrid
+// Vertex-Edge Memory Hierarchy for Energy-Efficient Graph Processing"
+// (Dai, Huang, Wang, Yang, Wawrzynek): the device energy models, the
+// HyVE architecture simulator and its baselines (GraphR, CPU, and the
+// conventional accelerator hierarchies), the graph algorithms and
+// synthetic datasets, the §5 dynamic-graph working flow, the §6 analytic
+// model, and a harness (internal/experiments, cmd/hyve-bench) that
+// regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for a tour and DESIGN.md for the full system inventory
+// and the per-experiment index.
+package repro

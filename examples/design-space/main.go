@@ -1,0 +1,74 @@
+// Design space: the §7.2 design decisions, replayed as an ablation. For
+// one workload, sweep the ReRAM cell bits (SLC vs MLC), the bank output
+// width and optimization objective (Table 3), and the on-chip SRAM
+// capacity (Table 4), and report where the sweet spots fall — and why
+// the paper's final design (SLC, energy-optimized 512-bit output, 2–4 MB
+// SRAM) is the right one.
+//
+//	go run ./examples/design-space
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/device/rram"
+	"repro/internal/graph"
+)
+
+func main() {
+	d, err := graph.DatasetByName("LJ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := core.WorkloadFor(d, algo.NewPageRank())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: PageRank on %s (%d/%d full-scale vertices/edges)\n\n", d.Long, d.FullVertices, d.FullEdges)
+
+	sim := func(cfg core.Config) float64 {
+		r, err := core.Simulate(cfg, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r.Report.MTEPSPerWatt()
+	}
+
+	// --- ReRAM cell bits (Fig. 13's decision).
+	fmt.Println("ReRAM cell bits (MTEPS/W):")
+	for bits := 1; bits <= 3; bits++ {
+		cfg := core.HyVEOpt()
+		cfg.RRAM.Cell = rram.PaperCell(bits)
+		fmt.Printf("  %d-bit: %8.0f\n", bits, sim(cfg))
+	}
+
+	// --- Bank output width × objective (Table 3's decision).
+	fmt.Println("\nReRAM bank design (MTEPS/W):")
+	for _, objective := range []rram.OptTarget{rram.EnergyOptimized, rram.LatencyOptimized} {
+		for _, bits := range []int{64, 128, 256, 512} {
+			cfg := core.HyVEOpt()
+			cfg.RRAM.Optimize = objective
+			cfg.RRAM.OutputBits = bits
+			fmt.Printf("  %-18v %3d-bit: %8.0f\n", objective, bits, sim(cfg))
+		}
+	}
+
+	// --- SRAM capacity (Table 4's decision).
+	fmt.Println("\non-chip SRAM capacity (MTEPS/W, with sharing+gating):")
+	best, bestMB := 0.0, int64(0)
+	for _, mb := range []int64{1, 2, 4, 8, 16, 32} {
+		cfg := core.HyVEOpt()
+		cfg.SRAMBytes = mb << 20
+		eff := sim(cfg)
+		marker := ""
+		if eff > best {
+			best, bestMB = eff, mb
+			marker = "  ←"
+		}
+		fmt.Printf("  %2d MB: %8.0f%s\n", mb, eff, marker)
+	}
+	fmt.Printf("\nsweet spot: %d MB (paper: 2 MB with data sharing, 4 MB without)\n", bestMB)
+}

@@ -1,0 +1,53 @@
+// PageRank energy study: the paper's motivating workload (§1: "over 60%
+// of energy is consumed by memory for PageRank") across all five
+// datasets and the full ladder of architectures — CPU software, the
+// conventional accelerator hierarchies, HyVE, and HyVE with the §4
+// optimizations — reproducing the Fig. 16/17 story for one algorithm.
+//
+//	go run ./examples/pagerank-energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/energy"
+	"repro/internal/graph"
+)
+
+func main() {
+	fmt.Println("PageRank energy efficiency (MTEPS/W) and memory share of total energy")
+	fmt.Printf("%-8s %-14s %12s %10s %10s\n", "dataset", "config", "MTEPS/W", "memory%", "time")
+	for _, d := range graph.Datasets {
+		w, err := core.WorkloadFor(d, algo.NewPageRank())
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// CPU software baseline (Intel PCM-style whole-package power).
+		cpu, err := cpusim.Simulate(cpusim.NXgraph(), w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(d.Name, cpu)
+
+		// The accelerator ladder.
+		for _, cfg := range core.Fig16Configs() {
+			r, err := core.Simulate(cfg, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printRow(d.Name, &r.Report)
+		}
+		fmt.Println()
+	}
+}
+
+func printRow(dataset string, r *energy.Report) {
+	memShare := 100 * float64(r.Energy.MemoryTotal()) / float64(r.Energy.Total())
+	fmt.Printf("%-8s %-14s %12.1f %9.1f%% %10v\n",
+		dataset, r.Config, r.MTEPSPerWatt(), memShare, r.Time)
+}

@@ -1,0 +1,182 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// State is the mutable execution state of a program on a graph: the
+// canonical functional semantics every simulator (HyVE, GraphR, CPU)
+// must agree with. The architecture simulators drive it block-by-block;
+// Run drives it over the flat edge list. Because the model is
+// synchronous, both produce identical values.
+type State struct {
+	Prog   Program
+	Graph  *graph.Graph
+	Values []float64 // current vertex values (the "source" copy)
+	Accum  []float64 // gathered accumulators (the "destination" copy)
+	OutDeg []int
+	// Iteration counts completed iterations.
+	Iteration int
+	// EdgesProcessed counts edge traversals (messages considered).
+	EdgesProcessed int64
+	// ActiveEdges counts traversals whose scatter produced a message
+	// (e.g. the BFS source was already reached). The architecture
+	// simulators use the ratio to scale per-edge update energy.
+	ActiveEdges int64
+	// UpdatedGathers counts messages that actually changed the
+	// destination accumulator (a min that improved, a sum of a non-zero
+	// message) — the destination-write activity of the machine.
+	UpdatedGathers int64
+	// Converged is set by Apply sweeps that change nothing.
+	Converged bool
+}
+
+// NewState initializes program state on g.
+func NewState(p Program, g *graph.Graph) (*State, error) {
+	if p.NeedsWeights() && !g.Weighted() {
+		return nil, fmt.Errorf("algo: %s needs edge weights", p.Name())
+	}
+	if g.NumVertices == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	s := &State{
+		Prog:   p,
+		Graph:  g,
+		Values: make([]float64, g.NumVertices),
+		Accum:  make([]float64, g.NumVertices),
+		OutDeg: g.OutDegrees(),
+	}
+	for v := range s.Values {
+		s.Values[v] = p.Init(graph.VertexID(v), g.NumVertices)
+	}
+	return s, nil
+}
+
+// BeginIteration seeds the accumulators.
+func (s *State) BeginIteration() {
+	for v := range s.Accum {
+		s.Accum[v] = s.Prog.AccumIdentity(s.Values[v])
+	}
+}
+
+// ProcessEdge streams one edge: scatter from the source's *current*
+// value, gather into the destination's accumulator.
+func (s *State) ProcessEdge(e graph.Edge, w float32) {
+	s.EdgesProcessed++
+	msg, active := s.Prog.Scatter(s.Values[e.Src], s.OutDeg[e.Src], w)
+	if !active {
+		return
+	}
+	s.ActiveEdges++
+	next := s.Prog.Gather(s.Accum[e.Dst], msg)
+	if next != s.Accum[e.Dst] {
+		s.UpdatedGathers++
+		s.Accum[e.Dst] = next
+	}
+}
+
+// EndIteration applies the accumulators and reports whether any vertex
+// changed.
+func (s *State) EndIteration() (changed bool) {
+	n := s.Graph.NumVertices
+	for v := range s.Values {
+		nv, ch := s.Prog.Apply(s.Values[v], s.Accum[v], n)
+		s.Values[v] = nv
+		changed = changed || ch
+	}
+	s.Iteration++
+	if !changed {
+		s.Converged = true
+	}
+	return changed
+}
+
+// Done reports whether the program should stop: budget exhausted or
+// converged.
+func (s *State) Done() bool {
+	if fixed := s.Prog.FixedIterations(); fixed > 0 {
+		return s.Iteration >= fixed
+	}
+	return s.Converged
+}
+
+// RunIteration performs one full synchronous sweep over the flat edge
+// list.
+func (s *State) RunIteration() {
+	s.BeginIteration()
+	for i, e := range s.Graph.Edges {
+		s.ProcessEdge(e, s.Graph.Weight(i))
+	}
+	s.EndIteration()
+}
+
+// MaxIterations bounds convergence loops; a synchronous min-propagation
+// needs at most |V| sweeps, so exceeding it indicates a broken program.
+// Fixed-budget programs get their full budget regardless of graph size,
+// and geometric-convergence programs (epsilon-bounded PageRank) get a
+// floor large enough for any practical epsilon (0.85^512 ≈ 10⁻³⁶).
+func (s *State) MaxIterations() int {
+	bound := s.Graph.NumVertices + 1
+	if bound < 512 {
+		bound = 512
+	}
+	if fixed := s.Prog.FixedIterations(); fixed > bound {
+		bound = fixed
+	}
+	return bound
+}
+
+// Result is the outcome of a completed run.
+type Result struct {
+	Values         []float64
+	Iterations     int
+	EdgesProcessed int64
+	ActiveEdges    int64
+	UpdatedGathers int64
+	// VerticesProcessed counts vertex visits (vertex-centric: scattering
+	// vertices; edge-centric: every vertex, every iteration).
+	VerticesProcessed int64
+	Converged         bool
+}
+
+// ActivityRatio is the fraction of traversals that scattered a message.
+func (r *Result) ActivityRatio() float64 {
+	if r.EdgesProcessed == 0 {
+		return 0
+	}
+	return float64(r.ActiveEdges) / float64(r.EdgesProcessed)
+}
+
+// UpdateRatio is the fraction of traversals that wrote the destination.
+func (r *Result) UpdateRatio() float64 {
+	if r.EdgesProcessed == 0 {
+		return 0
+	}
+	return float64(r.UpdatedGathers) / float64(r.EdgesProcessed)
+}
+
+// Run executes p on g to completion over the flat edge list and returns
+// the result. This is the functional oracle for the architecture
+// simulators.
+func Run(p Program, g *graph.Graph) (*Result, error) {
+	s, err := NewState(p, g)
+	if err != nil {
+		return nil, err
+	}
+	for !s.Done() {
+		if s.Iteration > s.MaxIterations() {
+			return nil, fmt.Errorf("algo: %s failed to converge after %d iterations", p.Name(), s.Iteration)
+		}
+		s.RunIteration()
+	}
+	return &Result{
+		Values:         s.Values,
+		Iterations:     s.Iteration,
+		EdgesProcessed: s.EdgesProcessed,
+		ActiveEdges:    s.ActiveEdges,
+		UpdatedGathers: s.UpdatedGathers,
+		Converged:      s.Converged,
+	}, nil
+}

@@ -1,0 +1,134 @@
+package algo
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// RunParallel executes p on g with worker goroutines mirroring HyVE's N
+// processing units: each worker owns a disjoint set of destination
+// intervals (vertex id mod workers), streams every edge, and gathers
+// only the destinations it owns — the same owner-computes rule that
+// makes Algorithm 2's parallel steps hazard-free (§4.2: each PU updates
+// its own destination interval). No locks are needed because ownership
+// partitions the accumulator, and the synchronous model makes the
+// result identical to the sequential Run.
+func RunParallel(p Program, g *graph.Graph, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if p.NeedsWeights() && !g.Weighted() {
+		return nil, fmt.Errorf("algo: %s needs edge weights", p.Name())
+	}
+	if g.NumVertices == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	n := g.NumVertices
+	if workers > n {
+		workers = n
+	}
+	values := make([]float64, n)
+	accum := make([]float64, n)
+	outDeg := g.OutDegrees()
+	for v := 0; v < n; v++ {
+		values[v] = p.Init(graph.VertexID(v), n)
+	}
+
+	res := &Result{}
+	maxIters := n + 1
+	if maxIters < 512 {
+		maxIters = 512
+	}
+	if fixed := p.FixedIterations(); fixed > maxIters {
+		maxIters = fixed
+	}
+
+	type workerStats struct {
+		edges, active, updated int64
+		changed                bool
+	}
+	stats := make([]workerStats, workers)
+
+	for iter := 0; ; iter++ {
+		if iter > maxIters {
+			return nil, fmt.Errorf("algo: %s (parallel) failed to converge", p.Name())
+		}
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				st := &stats[wk]
+				st.changed = false
+				// Seed owned accumulators.
+				for v := wk; v < n; v += workers {
+					accum[v] = p.AccumIdentity(values[v])
+				}
+			}(wk)
+		}
+		wg.Wait()
+
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				st := &stats[wk]
+				// Stream all edges; gather only owned destinations.
+				// (Hardware streams each PU only its own blocks; the
+				// shared-memory oracle filters instead — same work per
+				// destination, same result.)
+				for i, e := range g.Edges {
+					if int(e.Dst)%workers != wk {
+						continue
+					}
+					st.edges++
+					msg, active := p.Scatter(values[e.Src], outDeg[e.Src], g.Weight(i))
+					if !active {
+						continue
+					}
+					st.active++
+					next := p.Gather(accum[e.Dst], msg)
+					if next != accum[e.Dst] {
+						st.updated++
+						accum[e.Dst] = next
+					}
+				}
+				// Apply owned vertices.
+				for v := wk; v < n; v += workers {
+					nv, ch := p.Apply(values[v], accum[v], n)
+					accum[v] = nv // stage the new value
+					st.changed = st.changed || ch
+				}
+			}(wk)
+		}
+		wg.Wait()
+		// Commit staged values (barrier keeps scatter reads consistent).
+		values, accum = accum, values
+
+		res.Iterations++
+		changed := false
+		for wk := range stats {
+			changed = changed || stats[wk].changed
+		}
+		if fixed := p.FixedIterations(); fixed > 0 {
+			if res.Iterations >= fixed {
+				break
+			}
+			continue
+		}
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	for wk := range stats {
+		res.EdgesProcessed += stats[wk].edges
+		res.ActiveEdges += stats[wk].active
+		res.UpdatedGathers += stats[wk].updated
+	}
+	res.Values = values
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The owner-computes parallel engine must be bit-identical to the
+// sequential oracle: same values, same iteration count, same traversal
+// accounting — at any worker count.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	g := rmat(t, 1024, 8192, 77)
+	graph.AttachUniformWeights(g, 4, 8)
+	for _, p := range All() {
+		want := run(t, p, g)
+		for _, workers := range []int{1, 2, 3, 8, 16} {
+			got, err := RunParallel(p, g, workers)
+			if err != nil {
+				t.Fatalf("RunParallel(%s, %d): %v", p.Name(), workers, err)
+			}
+			if got.Iterations != want.Iterations {
+				t.Errorf("%s/%d workers: iterations %d vs %d", p.Name(), workers, got.Iterations, want.Iterations)
+			}
+			if got.EdgesProcessed != want.EdgesProcessed {
+				t.Errorf("%s/%d workers: edges %d vs %d", p.Name(), workers, got.EdgesProcessed, want.EdgesProcessed)
+			}
+			for v := range want.Values {
+				a, b := got.Values[v], want.Values[v]
+				if math.IsInf(a, 1) && math.IsInf(b, 1) {
+					continue
+				}
+				// Gather order within an owner is the edge order, same
+				// as sequential — identical floating-point results.
+				if a != b {
+					t.Fatalf("%s/%d workers: vertex %d = %v, want %v", p.Name(), workers, v, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRunParallelDefaultsWorkers(t *testing.T) {
+	g := rmat(t, 128, 512, 3)
+	got, err := RunParallel(NewCC(), g, 0) // 0 → GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run(t, NewCC(), g)
+	for v := range want.Values {
+		if got.Values[v] != want.Values[v] {
+			t.Fatalf("vertex %d differs", v)
+		}
+	}
+	// More workers than vertices must clamp, not break.
+	tiny, err := graph.GenerateChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParallel(NewBFS(0), tiny, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	g := rmat(t, 64, 256, 1)
+	if _, err := RunParallel(NewSSSP(0), g, 4); err == nil {
+		t.Error("SSSP without weights accepted")
+	}
+	if _, err := RunParallel(NewBFS(0), &graph.Graph{}, 4); err == nil {
+		t.Error("empty graph accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package algo
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file holds independent reference implementations — classic
+// textbook algorithms over CSR adjacency, sharing no code with the
+// edge-centric engine — used as oracles in tests.
+
+// ReferenceBFS returns hop distances from root (Unreached where
+// unreachable) using a queue-based level traversal.
+func ReferenceBFS(g *graph.Graph, root graph.VertexID) []float64 {
+	csr := graph.BuildCSR(g)
+	dist := make([]float64, g.NumVertices)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	if int(root) >= g.NumVertices {
+		return dist
+	}
+	dist[root] = 0
+	queue := []graph.VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range csr.Neighbors(v) {
+			if math.IsInf(dist[u], 1) {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// ReferenceCC returns per-vertex minimum-label components where labels
+// propagate along *directed* edges, the same reachability semantics as
+// the edge-centric CC program: label(v) = min id that reaches v
+// (including v). Computed by iterating a vertex-centric relaxation to a
+// fixed point over CSR — structurally different code from the
+// edge-centric engine.
+func ReferenceCC(g *graph.Graph) []float64 {
+	csr := graph.BuildCSR(g)
+	label := make([]float64, g.NumVertices)
+	for v := range label {
+		label[v] = float64(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		next := append([]float64(nil), label...)
+		for v := 0; v < g.NumVertices; v++ {
+			for _, u := range csr.Neighbors(graph.VertexID(v)) {
+				if label[v] < next[u] {
+					next[u] = label[v]
+					changed = true
+				}
+			}
+		}
+		label = next
+	}
+	return label
+}
+
+// ReferenceSSSP returns shortest-path distances from root via Dijkstra
+// (weights must be non-negative, which the generators guarantee).
+func ReferenceSSSP(g *graph.Graph, root graph.VertexID) []float64 {
+	csr := graph.BuildCSR(g)
+	dist := make([]float64, g.NumVertices)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	if int(root) >= g.NumVertices {
+		return dist
+	}
+	dist[root] = 0
+	pq := &distHeap{{v: root, d: 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		if top.d > dist[top.v] {
+			continue
+		}
+		off := csr.Offsets[top.v]
+		for i, u := range csr.Neighbors(top.v) {
+			w := float64(1)
+			if csr.Weights != nil {
+				w = float64(csr.Weights[off+int64(i)])
+			}
+			if nd := top.d + w; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distEntry{v: u, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distEntry struct {
+	v graph.VertexID
+	d float64
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ReferencePageRank runs power iteration with damping d for iters
+// rounds, vertex-centric over CSR.
+func ReferencePageRank(g *graph.Graph, damping float64, iters int) []float64 {
+	n := g.NumVertices
+	csr := graph.BuildCSR(g)
+	rank := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		base := (1 - damping) / float64(n)
+		for v := range next {
+			next[v] = base
+		}
+		for v := 0; v < n; v++ {
+			deg := csr.OutDegree(graph.VertexID(v))
+			if deg == 0 {
+				continue
+			}
+			share := damping * rank[v] / float64(deg)
+			for _, u := range csr.Neighbors(graph.VertexID(v)) {
+				next[u] += share
+			}
+		}
+		rank = next
+	}
+	return rank
+}
+
+// ReferenceSpMV computes y[dst] = Σ x[src]·w over all edges directly.
+func ReferenceSpMV(g *graph.Graph, x []float64) []float64 {
+	y := make([]float64, g.NumVertices)
+	for i, e := range g.Edges {
+		y[e.Dst] += x[e.Src] * float64(g.Weight(i))
+	}
+	return y
+}

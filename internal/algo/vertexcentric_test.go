@@ -1,0 +1,92 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMonotoneClassification(t *testing.T) {
+	want := map[string]bool{"PR": false, "BFS": true, "CC": true, "SSSP": true, "SpMV": false}
+	for _, p := range All() {
+		if got := Monotone(p); got != want[p.Name()] {
+			t.Errorf("Monotone(%s) = %v, want %v", p.Name(), got, want[p.Name()])
+		}
+	}
+}
+
+// Vertex-centric execution must compute exactly what the edge-centric
+// engine computes, for every program.
+func TestVertexCentricMatchesEdgeCentric(t *testing.T) {
+	g := rmat(t, 1024, 8192, 31)
+	graph.AttachUniformWeights(g, 4, 5)
+	for _, p := range All() {
+		ec := run(t, p, g)
+		vc, err := RunVertexCentric(p, g)
+		if err != nil {
+			t.Fatalf("RunVertexCentric(%s): %v", p.Name(), err)
+		}
+		sameValues(t, p.Name()+" vc-vs-ec", vc.Values, ec.Values, 1e-12)
+		if vc.Iterations != ec.Iterations {
+			t.Errorf("%s: iterations differ: vc %d vs ec %d", p.Name(), vc.Iterations, ec.Iterations)
+		}
+	}
+}
+
+// The frontier optimization: monotone programs touch far fewer edges
+// vertex-centrically (BFS approaches Σ frontier degrees ≈ |E| total,
+// instead of iterations × |E|).
+func TestVertexCentricFrontierSavesTraversals(t *testing.T) {
+	g := rmat(t, 2048, 16384, 7)
+	ec := run(t, NewBFS(0), g)
+	vc, err := RunVertexCentric(NewBFS(0), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.Iterations <= 2 {
+		t.Skip("graph converged too quickly to show the effect")
+	}
+	if vc.EdgesProcessed >= ec.EdgesProcessed {
+		t.Errorf("vertex-centric BFS processed %d edges, edge-centric %d — frontier should save work",
+			vc.EdgesProcessed, ec.EdgesProcessed)
+	}
+	// Accumulating programs cannot skip anyone: PR touches the same
+	// number of edges either way.
+	ecPR := run(t, NewPageRank(), g)
+	vcPR, err := RunVertexCentric(NewPageRank(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vcPR.EdgesProcessed != ecPR.EdgesProcessed {
+		t.Errorf("PR traversals differ: vc %d vs ec %d", vcPR.EdgesProcessed, ecPR.EdgesProcessed)
+	}
+}
+
+func TestVertexCentricValidation(t *testing.T) {
+	if _, err := RunVertexCentric(NewSSSP(0), &graph.Graph{NumVertices: 3, Edges: []graph.Edge{{Src: 0, Dst: 1}}}); err == nil {
+		t.Error("SSSP without weights accepted")
+	}
+	if _, err := RunVertexCentric(NewBFS(0), &graph.Graph{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestVertexCentricWeighted(t *testing.T) {
+	g := rmat(t, 256, 2000, 3)
+	graph.AttachUniformWeights(g, 3, 9)
+	vc, err := RunVertexCentric(NewSSSP(0), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ReferenceSSSP(g, 0)
+	for v := range ref {
+		a, b := vc.Values[v], ref[v]
+		if math.IsInf(a, 1) && math.IsInf(b, 1) {
+			continue
+		}
+		if math.Abs(a-b) > 1e-4 {
+			t.Fatalf("vertex %d: %v vs Dijkstra %v", v, a, b)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package analytic implements the paper's §6 model of graph processing
+// on ReRAMs: the execution-time and energy decompositions of Eq. (1)–(2),
+// the operation-count identities of Eq. (3)–(4) and (7)–(9), and the
+// Cauchy–Schwarz energy-delay-product lower bound of Eq. (6). The model
+// is what lets the paper reason about *which memory technology belongs
+// in which role* without running the full simulator; the Fig. 10/11
+// experiments are direct evaluations of it.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// Counts are the operation counts of one full execution.
+// Per Eq. (3)–(4), local random vertex reads and writes both equal the
+// edge count, so only the distinct quantities appear.
+type Counts struct {
+	// SeqVertexReads is N^R_{v,s}: vertices read sequentially from
+	// global memory.
+	SeqVertexReads int64
+	// SeqVertexWrites is N^W_{v,s}: vertices written back (Eq. 7: once
+	// per vertex per iteration).
+	SeqVertexWrites int64
+	// EdgeReads is N^R_e: edges streamed (also the local random vertex
+	// read/write count and the PU op count).
+	EdgeReads int64
+}
+
+// HyVECounts instantiates the counts for HyVE's schedule (Eq. 7–8):
+// N^R_{v,s} = (P/N)·N_v with the data-sharing schedule.
+func HyVECounts(numVertices, numEdges int64, p, n int) (Counts, error) {
+	if p <= 0 || n <= 0 || p%n != 0 {
+		return Counts{}, fmt.Errorf("analytic: P=%d must be a positive multiple of N=%d", p, n)
+	}
+	return Counts{
+		SeqVertexReads:  int64(p/n) * numVertices,
+		SeqVertexWrites: numVertices,
+		EdgeReads:       numEdges,
+	}, nil
+}
+
+// GraphRCounts instantiates the counts for GraphR's 8×8-block schedule
+// (Eq. 9): N^R_{v,s} = 16 · non-empty blocks.
+func GraphRCounts(numVertices, numEdges, nonEmptyBlocks int64) Counts {
+	return Counts{
+		SeqVertexReads:  16 * nonEmptyBlocks,
+		SeqVertexWrites: numVertices,
+		EdgeReads:       numEdges,
+	}
+}
+
+// OpCosts are the per-operation (time, energy) pairs of §6.1's
+// subscripted terms.
+type OpCosts struct {
+	SeqVertexRead   device.Cost // (T,E)^R_{v,s}
+	SeqVertexWrite  device.Cost // (T,E)^W_{v,s}
+	RandVertexRead  device.Cost // (T,E)^R_{v,r}
+	RandVertexWrite device.Cost // (T,E)^W_{v,r}
+	EdgeRead        device.Cost // (T,E)^R_e
+	PU              device.Cost // (T,E)_{pu}
+}
+
+// VertexOps builds the vertex-side operation costs from a global memory
+// device (sequential ops) and a local memory device (random ops), the
+// §6.3 split; edge and PU terms come from EdgeOps/PUOp.
+func VertexOps(global, local device.Memory) OpCosts {
+	return OpCosts{
+		SeqVertexRead:   global.Read(true),
+		SeqVertexWrite:  global.Write(true),
+		RandVertexRead:  local.Read(false),
+		RandVertexWrite: local.Write(false),
+	}
+}
+
+// Model combines counts and per-op costs.
+type Model struct {
+	N Counts
+	C OpCosts
+}
+
+// Time evaluates Eq. (1)'s exact form:
+//
+//	T = N^R_{v,s}·T^R_{v,s} + N^R_e·max(T^R_{v,r}, T^R_e, T_pu, T^W_{v,r})
+//	  + N^W_{v,s}·T^W_{v,s}
+func (m Model) Time() units.Time {
+	stage := units.MaxTime(
+		m.C.RandVertexRead.Latency,
+		m.C.EdgeRead.Latency,
+		m.C.PU.Latency,
+		m.C.RandVertexWrite.Latency,
+	)
+	return m.C.SeqVertexRead.Latency.Times(float64(m.N.SeqVertexReads)) +
+		stage.Times(float64(m.N.EdgeReads)) +
+		m.C.SeqVertexWrite.Latency.Times(float64(m.N.SeqVertexWrites))
+}
+
+// TimeLowerBound evaluates the right-hand side of Eq. (1)'s inequality
+// (max ≥ mean over the four pipelined stages).
+func (m Model) TimeLowerBound() units.Time {
+	quarter := 0.25 * float64(m.N.EdgeReads)
+	return m.C.SeqVertexRead.Latency.Times(float64(m.N.SeqVertexReads)) +
+		(m.C.RandVertexRead.Latency + m.C.EdgeRead.Latency +
+			m.C.PU.Latency + m.C.RandVertexWrite.Latency).Times(quarter) +
+		m.C.SeqVertexWrite.Latency.Times(float64(m.N.SeqVertexWrites))
+}
+
+// Energy evaluates Eq. (2):
+//
+//	E = N^R_{v,s}·E^R_{v,s} + 2·N^R_e·E^R_{v,r} + N^R_e·E^R_e
+//	  + N^R_e·E_pu + N^R_e·E^W_{v,r} + N^W_{v,s}·E^W_{v,s}
+//
+// using the Eq. (3)–(4) identities N^R_{v,r} = N^W_{v,r} = N^R_e.
+func (m Model) Energy() units.Energy {
+	e := float64(m.N.EdgeReads)
+	return m.C.SeqVertexRead.Energy.Times(float64(m.N.SeqVertexReads)) +
+		m.C.RandVertexRead.Energy.Times(2*e) +
+		m.C.EdgeRead.Energy.Times(e) +
+		m.C.PU.Energy.Times(e) +
+		m.C.RandVertexWrite.Energy.Times(e) +
+		m.C.SeqVertexWrite.Energy.Times(float64(m.N.SeqVertexWrites))
+}
+
+// EDP is the exact energy-delay product T·E (Eq. 5).
+func (m Model) EDP() units.EDP {
+	return units.EDPOf(m.Energy(), m.Time())
+}
+
+// EDPLowerBound evaluates Eq. (6): by the Cauchy–Schwarz inequality,
+//
+//	T·E ≥ [ N^R_{v,s}·√(T·E)^R_{v,s} + (√2/2)·N^R_e·√(T·E)^R_{v,r}
+//	      + ½·N^R_e·√(T·E)^R_e + ½·N^R_e·√(T·E)_pu
+//	      + ½·N^R_e·√(T·E)^W_{v,r} + N^W_{v,s}·√(T·E)^W_{v,s} ]²
+//
+// which splits the product into independently minimizable per-device
+// terms — the paper's instrument for choosing a technology per role.
+func (m Model) EDPLowerBound() units.EDP {
+	rt := func(c device.Cost) float64 {
+		return math.Sqrt(float64(c.Latency) * float64(c.Energy))
+	}
+	e := float64(m.N.EdgeReads)
+	sum := float64(m.N.SeqVertexReads)*rt(m.C.SeqVertexRead) +
+		math.Sqrt2/2*e*rt(m.C.RandVertexRead) +
+		0.5*e*rt(m.C.EdgeRead) +
+		0.5*e*rt(m.C.PU) +
+		0.5*e*rt(m.C.RandVertexWrite) +
+		float64(m.N.SeqVertexWrites)*rt(m.C.SeqVertexWrite)
+	return units.EDP(sum * sum)
+}
+
+// TermEDP returns the six √(T·E) terms of Eq. (6) in declaration order,
+// weighted by their counts — the "3 parts" (edge storage, vertex
+// storage, processing units) the paper analyzes one by one.
+func (m Model) TermEDP() [6]float64 {
+	rt := func(c device.Cost) float64 {
+		return math.Sqrt(float64(c.Latency) * float64(c.Energy))
+	}
+	e := float64(m.N.EdgeReads)
+	return [6]float64{
+		float64(m.N.SeqVertexReads) * rt(m.C.SeqVertexRead),
+		math.Sqrt2 / 2 * e * rt(m.C.RandVertexRead),
+		0.5 * e * rt(m.C.EdgeRead),
+		0.5 * e * rt(m.C.PU),
+		0.5 * e * rt(m.C.RandVertexWrite),
+		float64(m.N.SeqVertexWrites) * rt(m.C.SeqVertexWrite),
+	}
+}
+
+// VertexStorage prices just the vertex-side traffic (the Fig. 10/11
+// comparison): sequential global reads/writes plus per-edge local random
+// traffic.
+type VertexStorage struct {
+	N Counts
+	C OpCosts
+	// ValueWords is the number of local-memory words per vertex value.
+	ValueWords int
+}
+
+// GlobalCost returns (time, energy) of just the global vertex memory's
+// sequential traffic — the Fig. 10 comparison, which asks which
+// technology should *be* the global vertex memory (the local side is the
+// same SRAM/register file either way).
+func (v VertexStorage) GlobalCost() device.Cost {
+	return v.C.SeqVertexRead.Times(float64(v.N.SeqVertexReads)).
+		Plus(v.C.SeqVertexWrite.Times(float64(v.N.SeqVertexWrites)))
+}
+
+// Cost returns (time, energy) of the whole vertex storage subsystem,
+// local random traffic included — the Fig. 11 comparison ("we need to
+// take both local and global memory into consideration").
+func (v VertexStorage) Cost() device.Cost {
+	words := float64(v.ValueWords)
+	if words < 1 {
+		words = 1
+	}
+	e := float64(v.N.EdgeReads)
+	local := v.C.RandVertexRead.Times(2 * e * words).
+		Plus(v.C.RandVertexWrite.Times(e * words))
+	// Sequential transfers and local traffic overlap with processing in
+	// hardware but the paper's §6.3 comparison sums them; follow it.
+	return v.GlobalCost().Plus(local)
+}

@@ -1,0 +1,215 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/device/dram"
+	"repro/internal/device/rram"
+	"repro/internal/device/sram"
+	"repro/internal/units"
+)
+
+func testCosts() OpCosts {
+	return OpCosts{
+		SeqVertexRead:   device.Cost{Latency: 2 * units.Nanosecond, Energy: 400},
+		SeqVertexWrite:  device.Cost{Latency: 2 * units.Nanosecond, Energy: 450},
+		RandVertexRead:  device.Cost{Latency: units.Nanosecond, Energy: 24},
+		RandVertexWrite: device.Cost{Latency: units.Nanosecond / 2, Energy: 25},
+		EdgeRead:        device.Cost{Latency: units.Nanosecond / 4, Energy: 13},
+		PU:              device.Cost{Latency: 2350 * units.Picosecond, Energy: 3.7},
+	}
+}
+
+func TestHyVECounts(t *testing.T) {
+	c, err := HyVECounts(1000, 8000, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SeqVertexReads != 4000 { // (P/N)·Nv = 4·1000
+		t.Errorf("SeqVertexReads = %d, want 4000", c.SeqVertexReads)
+	}
+	if c.SeqVertexWrites != 1000 || c.EdgeReads != 8000 {
+		t.Errorf("counts = %+v", c)
+	}
+	if _, err := HyVECounts(10, 10, 7, 8); err == nil {
+		t.Error("P not multiple of N accepted")
+	}
+	if _, err := HyVECounts(10, 10, 0, 8); err == nil {
+		t.Error("zero P accepted")
+	}
+}
+
+func TestGraphRCounts(t *testing.T) {
+	c := GraphRCounts(1000, 8000, 500)
+	if c.SeqVertexReads != 8000 { // 16 × 500
+		t.Errorf("SeqVertexReads = %d, want 8000", c.SeqVertexReads)
+	}
+	if c.SeqVertexWrites != 1000 {
+		t.Errorf("SeqVertexWrites = %d", c.SeqVertexWrites)
+	}
+}
+
+func TestTimeDecomposition(t *testing.T) {
+	m := Model{N: Counts{SeqVertexReads: 10, SeqVertexWrites: 5, EdgeReads: 100}, C: testCosts()}
+	// Stage max is the PU at 2.35 ns.
+	want := 2*units.Nanosecond*10 + units.Time(2350*100) + 2*units.Nanosecond*5
+	if got := m.Time(); got != want {
+		t.Errorf("Time = %v, want %v", got, want)
+	}
+}
+
+// Eq. (1): the exact time must dominate its averaged lower bound.
+func TestTimeLowerBoundHolds(t *testing.T) {
+	f := func(a, b, c uint16, l1, l2, l3, l4 uint16) bool {
+		m := Model{
+			N: Counts{SeqVertexReads: int64(a), SeqVertexWrites: int64(b), EdgeReads: int64(c)},
+			C: OpCosts{
+				SeqVertexRead:   device.Cost{Latency: units.Time(l1)},
+				SeqVertexWrite:  device.Cost{Latency: units.Time(l2)},
+				RandVertexRead:  device.Cost{Latency: units.Time(l3)},
+				RandVertexWrite: device.Cost{Latency: units.Time(l4)},
+				EdgeRead:        device.Cost{Latency: units.Time(l1 / 2)},
+				PU:              device.Cost{Latency: units.Time(l2 / 2)},
+			},
+		}
+		return m.Time() >= m.TimeLowerBound()-units.Time(1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyDecomposition(t *testing.T) {
+	c := testCosts()
+	m := Model{N: Counts{SeqVertexReads: 10, SeqVertexWrites: 5, EdgeReads: 100}, C: c}
+	want := c.SeqVertexRead.Energy.Times(10) +
+		c.RandVertexRead.Energy.Times(200) + // 2·N^R_e
+		c.EdgeRead.Energy.Times(100) +
+		c.PU.Energy.Times(100) +
+		c.RandVertexWrite.Energy.Times(100) +
+		c.SeqVertexWrite.Energy.Times(5)
+	if got := m.Energy(); math.Abs(float64(got-want)) > 1e-9 {
+		t.Errorf("Energy = %v, want %v", got, want)
+	}
+}
+
+// Eq. (6): the Cauchy–Schwarz bound must hold for arbitrary positive
+// cost assignments.
+func TestEDPLowerBoundHolds(t *testing.T) {
+	f := func(a, b, c uint16, raw [12]uint16) bool {
+		cost := func(i int) device.Cost {
+			return device.Cost{
+				Latency: units.Time(raw[2*i]) + 1,
+				Energy:  units.Energy(raw[2*i+1]) + 1,
+			}
+		}
+		m := Model{
+			N: Counts{SeqVertexReads: int64(a), SeqVertexWrites: int64(b), EdgeReads: int64(c)},
+			C: OpCosts{
+				SeqVertexRead:   cost(0),
+				SeqVertexWrite:  cost(1),
+				RandVertexRead:  cost(2),
+				RandVertexWrite: cost(3),
+				EdgeRead:        cost(4),
+				PU:              cost(5),
+			},
+		}
+		return float64(m.EDP()) >= float64(m.EDPLowerBound())*(1-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermEDPSumsToBound(t *testing.T) {
+	m := Model{N: Counts{SeqVertexReads: 10, SeqVertexWrites: 5, EdgeReads: 100}, C: testCosts()}
+	terms := m.TermEDP()
+	var sum float64
+	for _, x := range terms {
+		sum += x
+	}
+	if got := float64(m.EDPLowerBound()); math.Abs(got-sum*sum) > 1e-6*got {
+		t.Errorf("bound %v != (Σ terms)² %v", got, sum*sum)
+	}
+}
+
+// §6.2's conclusion, evaluated on the real device models: for sequential
+// edge reads, DRAM has less delay while ReRAM has less energy and lower
+// EDP.
+func TestEdgeStorageConclusion(t *testing.T) {
+	rr, err := rram.New(rram.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := dram.New(dram.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Read(true).Latency >= rr.Read(true).Latency {
+		t.Errorf("DRAM seq read %v not faster than ReRAM %v", dr.Read(true).Latency, rr.Read(true).Latency)
+	}
+	if dr.Read(true).Energy <= rr.Read(true).Energy {
+		t.Errorf("DRAM seq read energy %v not above ReRAM %v", dr.Read(true).Energy, rr.Read(true).Energy)
+	}
+	if dr.Read(true).EDP() <= rr.Read(true).EDP() {
+		t.Error("ReRAM should win sequential-read EDP")
+	}
+	// And for sequential writes, DRAM wins EDP (the write asymmetry).
+	if dr.Write(true).EDP() >= rr.Write(true).EDP() {
+		t.Error("DRAM should win sequential-write EDP")
+	}
+}
+
+// §6.3's conclusion: with HyVE's few partitions, the read/write mix is
+// write-heavier, so DRAM global vertex memory achieves lower EDP than
+// ReRAM; with GraphR's many small partitions (read-dominated), ReRAM
+// wins — Fig. 10's two sides.
+func TestVertexStorageTechnologyChoice(t *testing.T) {
+	rr, err := rram.New(rram.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := dram.New(dram.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sram.New(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nv, ne = 1_000_000, 8_000_000
+	edp := func(global device.Memory, n Counts) units.EDP {
+		v := VertexStorage{N: n, C: VertexOps(global, local), ValueWords: 1}
+		return v.GlobalCost().EDP()
+	}
+	// HyVE with sharing: P/N small (e.g. 2).
+	hv, err := HyVECounts(nv, ne, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edp(dr, hv) >= edp(rr, hv) {
+		t.Error("HyVE (few partitions): DRAM should win vertex-storage EDP")
+	}
+	// GraphR: reads dominate writes by ~16·blocks/Nv ≈ 90×.
+	gr := GraphRCounts(nv, ne, 5_600_000)
+	if edp(rr, gr) >= edp(dr, gr) {
+		t.Error("GraphR (many partitions): ReRAM should win vertex-storage EDP")
+	}
+}
+
+func TestVertexStorageWordScaling(t *testing.T) {
+	c := testCosts()
+	n := Counts{SeqVertexReads: 10, SeqVertexWrites: 10, EdgeReads: 100}
+	one := VertexStorage{N: n, C: c, ValueWords: 1}.Cost()
+	two := VertexStorage{N: n, C: c, ValueWords: 2}.Cost()
+	if two.Energy <= one.Energy {
+		t.Error("wider values must cost more local energy")
+	}
+	zero := VertexStorage{N: n, C: c, ValueWords: 0}.Cost()
+	if zero != one {
+		t.Error("ValueWords<1 should clamp to 1")
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The block-level closed forms must agree with the request-accurate DES
+// execution of the same super block. The DES resolves contention the
+// closed form folds into maxima, so exact equality is not expected —
+// but the band must be tight (within 25%) and the DES must never be
+// faster than the closed form's steady-state bound by more than the
+// schedule's slack.
+func TestClosedFormMatchesRequestLevelDES(t *testing.T) {
+	w := testWorkload(t, "PR")
+	cfg := HyVEOpt()
+	des, err := SimulateSuperBlockDES(cfg, w, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := closedFormSuperBlock(cfg, w, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if des.Total <= 0 || closed <= 0 {
+		t.Fatalf("degenerate times: des %v, closed %v", des.Total, closed)
+	}
+	rel := math.Abs(des.Total.Seconds()-closed.Seconds()) / closed.Seconds()
+	if rel > 0.25 {
+		t.Errorf("request-level %v vs closed form %v: %.0f%% apart", des.Total, closed, 100*rel)
+	}
+}
+
+// Phase decomposition: loads precede processing precede writeback, and
+// the phases fill the makespan.
+func TestDESPhaseDecomposition(t *testing.T) {
+	w := testWorkload(t, "BFS")
+	des, err := SimulateSuperBlockDES(HyVE(), w, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if des.LoadTime <= 0 || des.ProcessTime <= 0 || des.WritebackTime <= 0 {
+		t.Fatalf("empty phase: %+v", des)
+	}
+	sum := des.LoadTime + des.ProcessTime + des.WritebackTime
+	if math.Abs(sum.Seconds()-des.Total.Seconds()) > 1e-15 {
+		t.Errorf("phases %v do not fill makespan %v", sum, des.Total)
+	}
+	if des.Edges <= 0 {
+		t.Error("no edges processed")
+	}
+}
+
+// The §3.3 stall rule: interval transfers occupy the SRAM ports, so a
+// super block's makespan grows when transfers lengthen — even with
+// processing unchanged.
+func TestTransferStallLengthensMakespan(t *testing.T) {
+	w := testWorkload(t, "PR")
+	short, err := SimulateSuperBlockDES(HyVEOpt(), w, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same machine with a big-value program (SpMV: 8-byte values) moves
+	// twice the interval bytes.
+	w2 := w
+	w2.Program = w.Program // same program; instead stretch via SRAM cycle:
+	slow := HyVEOpt()
+	slow.SRAMBytes = 32 << 20 // slower SRAM cycle lengthens transfers
+	long, err := SimulateSuperBlockDES(slow, w2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.LoadTime <= short.LoadTime {
+		t.Errorf("slower SRAM did not lengthen loads: %v vs %v", long.LoadTime, short.LoadTime)
+	}
+}
+
+func TestDESValidation(t *testing.T) {
+	w := testWorkload(t, "PR")
+	if _, err := SimulateSuperBlockDES(AccDRAM(), w, 0, 0); err == nil {
+		t.Error("SRAM-less config accepted")
+	}
+	if _, err := SimulateSuperBlockDES(HyVE(), w, 99, 0); err == nil {
+		t.Error("out-of-range super block accepted")
+	}
+	bad := HyVE()
+	bad.NumPUs = -1
+	if _, err := SimulateSuperBlockDES(bad, w, 0, 0); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// Every super block of a small workload stays within the agreement band.
+func TestAllSuperBlocksAgree(t *testing.T) {
+	w := testWorkload(t, "BFS")
+	cfg := HyVEOpt()
+	m, err := newSim(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := m.p / cfg.NumPUs
+	if pn > 4 {
+		pn = 4 // bound the sweep
+	}
+	for x := 0; x < pn; x++ {
+		for y := 0; y < pn; y++ {
+			des, err := SimulateSuperBlockDES(cfg, w, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			closed, err := closedFormSuperBlock(cfg, w, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel := math.Abs(des.Total.Seconds()-closed.Seconds()) / closed.Seconds()
+			if rel > 0.3 {
+				t.Errorf("super block (%d,%d): DES %v vs closed %v (%.0f%%)", x, y, des.Total, closed, 100*rel)
+			}
+		}
+	}
+	_ = units.Time(0)
+}

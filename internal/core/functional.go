@@ -1,0 +1,96 @@
+package core
+
+import (
+	"repro/internal/algo"
+	"repro/internal/partition"
+)
+
+// RunFunctional executes the workload's program through the exact
+// Algorithm 2 super-block schedule — same partition, same block order,
+// same step interleaving as the cost simulator — and returns the
+// functional result. Because the execution model is synchronous
+// (sources read-only during a super block, §4.2), this must produce
+// bit-identical values to the flat algo.Run oracle; the tests enforce
+// that equivalence, which is the correctness argument for the
+// data-sharing schedule.
+func RunFunctional(cfg Config, w Workload) (*algo.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSim(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	return s.runFunctional()
+}
+
+func (s *machine) runFunctional() (*algo.Result, error) {
+	st, err := algo.NewState(s.w.Program, s.w.Graph)
+	if err != nil {
+		return nil, err
+	}
+	n := s.cfg.NumPUs
+	pn := s.p / n
+	for !st.Done() {
+		if st.Iteration > st.MaxIterations() {
+			return nil, errNoConvergence(s.w.Program.Name(), st.Iteration)
+		}
+		st.BeginIteration()
+		for y := 0; y < pn; y++ {
+			for x := 0; x < pn; x++ {
+				for step := 0; step < n; step++ {
+					for p := 0; p < n; p++ {
+						s.processBlock(st, x*n+(p+step)%n, y*n+p)
+					}
+				}
+			}
+		}
+		st.EndIteration()
+	}
+	return &algo.Result{
+		Values:         st.Values,
+		Iterations:     st.Iteration,
+		EdgesProcessed: st.EdgesProcessed,
+		ActiveEdges:    st.ActiveEdges,
+		UpdatedGathers: st.UpdatedGathers,
+		Converged:      st.Converged,
+	}, nil
+}
+
+func (s *machine) processBlock(st *algo.State, src, dst int) {
+	edges := s.grid.Block(src, dst)
+	weights := s.grid.BlockWeights(src, dst)
+	for i, e := range edges {
+		w := float32(1)
+		if weights != nil {
+			w = weights[i]
+		}
+		st.ProcessEdge(e, w)
+	}
+}
+
+// Grid exposes the simulator's partition for inspection in tests and
+// experiments.
+func Grid(cfg Config, w Workload) (*partition.Grid, int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	s, err := newSim(cfg, w)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.grid, s.p, nil
+}
+
+type convergenceError struct {
+	prog  string
+	iters int
+}
+
+func errNoConvergence(prog string, iters int) error {
+	return &convergenceError{prog: prog, iters: iters}
+}
+
+func (e *convergenceError) Error() string {
+	return "core: " + e.prog + " failed to converge through the blocked schedule"
+}

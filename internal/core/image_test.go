@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func imageFixture(t *testing.T) (*graph.Graph, partition.Assigner, *partition.Grid) {
+	t.Helper()
+	g, err := graph.GenerateRMAT(600, 4000, graph.DefaultRMAT, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := partition.NewHashed(g.NumVertices, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := partition.Build(g, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, asg, grid
+}
+
+func TestEdgeImageRoundTrip(t *testing.T) {
+	g, _, grid := imageFixture(t)
+	img, offsets := BuildEdgeImage(grid)
+	// Size: P² headers + all edges.
+	wantSize := int64(8*8)*EdgeImageHeaderBytes + int64(g.NumEdges())*graph.EdgeBytes
+	if int64(len(img)) != wantSize {
+		t.Fatalf("image size %d, want %d", len(img), wantSize)
+	}
+	parsed, err := ParseEdgeImage(img, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumEdges() != g.NumEdges() {
+		t.Fatalf("parsed %d edges, want %d", parsed.NumEdges(), g.NumEdges())
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			want := grid.Block(x, y)
+			got := parsed.Block(x, y)
+			if len(got) != len(want) {
+				t.Fatalf("block (%d,%d): %d edges, want %d", x, y, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("block (%d,%d) edge %d: %v vs %v", x, y, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// Offsets are monotone and end at the image size.
+	for b := 0; b < 64; b++ {
+		if offsets[b+1] <= offsets[b] {
+			t.Fatalf("offsets not monotone at block %d", b)
+		}
+	}
+	if offsets[64] != int64(len(img)) {
+		t.Fatalf("final offset %d != image size %d", offsets[64], len(img))
+	}
+}
+
+func TestEdgeImageRejectsCorruption(t *testing.T) {
+	_, _, grid := imageFixture(t)
+	img, _ := BuildEdgeImage(grid)
+	if _, err := ParseEdgeImage(img[:len(img)-3], 8); err == nil {
+		t.Error("truncated image accepted")
+	}
+	corrupt := append([]byte(nil), img...)
+	corrupt[0] ^= 0xFF // break the first block header
+	if _, err := ParseEdgeImage(corrupt, 8); err == nil {
+		t.Error("corrupt header accepted")
+	}
+	if _, err := ParseEdgeImage(append(img, 0, 0, 0, 0), 8); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := ParseEdgeImage(img, 0); err == nil {
+		t.Error("P=0 accepted")
+	}
+}
+
+func TestVertexImageRoundTrip(t *testing.T) {
+	g, asg, _ := imageFixture(t)
+	values := make([]float64, g.NumVertices)
+	rng := graph.NewRNG(5)
+	for v := range values {
+		values[v] = rng.Float64() * 100
+	}
+	img, offsets, err := BuildVertexImage(asg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSize := int64(8)*VertexImageHeaderBytes + int64(g.NumVertices)*8
+	if int64(len(img)) != wantSize {
+		t.Fatalf("image size %d, want %d", len(img), wantSize)
+	}
+	got, err := ParseVertexImage(img, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range values {
+		if got[v] != values[v] {
+			t.Fatalf("vertex %d: %v vs %v", v, got[v], values[v])
+		}
+	}
+	if offsets[8] != int64(len(img)) {
+		t.Fatalf("final offset %d != size %d", offsets[8], len(img))
+	}
+}
+
+func TestVertexImageValidation(t *testing.T) {
+	_, asg, _ := imageFixture(t)
+	if _, _, err := BuildVertexImage(asg, make([]float64, 3)); err == nil {
+		t.Error("wrong value count accepted")
+	}
+	values := make([]float64, asg.NumVertices())
+	img, _, err := BuildVertexImage(asg, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseVertexImage(img[:10], asg); err == nil {
+		t.Error("truncated vertex image accepted")
+	}
+	corrupt := append([]byte(nil), img...)
+	corrupt[0] = 7 // wrong interval index
+	if _, err := ParseVertexImage(corrupt, asg); err == nil {
+		t.Error("corrupt interval header accepted")
+	}
+	if _, err := ParseVertexImage(append(img, 1), asg); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestEdgeAddressMapping(t *testing.T) {
+	_, _, grid := imageFixture(t)
+	img, offsets := BuildEdgeImage(grid)
+	// The address of each block's first edge must point at that edge's
+	// bytes in the image.
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			blk := grid.Block(x, y)
+			if len(blk) == 0 {
+				continue
+			}
+			addr, err := EdgeAddress(offsets, 8, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := uint32(img[addr]) | uint32(img[addr+1])<<8 | uint32(img[addr+2])<<16 | uint32(img[addr+3])<<24
+			if src != blk[0].Src {
+				t.Fatalf("block (%d,%d) address %d points at src %d, want %d", x, y, addr, src, blk[0].Src)
+			}
+		}
+	}
+	if _, err := EdgeAddress(offsets, 8, 8, 0); err == nil {
+		t.Error("out-of-grid block accepted")
+	}
+	if _, err := EdgeAddress(offsets, 8, -1, 0); err == nil {
+		t.Error("negative block accepted")
+	}
+}
+
+// The scheduled layout must cover every block exactly once and make the
+// traced iteration a sequential sweep.
+func TestScheduleBlockOrderIsPermutation(t *testing.T) {
+	for _, pn := range [][2]int{{8, 8}, {16, 8}, {32, 8}, {24, 4}} {
+		p, n := pn[0], pn[1]
+		order := ScheduleBlockOrder(p, n)
+		if len(order) != p*p {
+			t.Fatalf("P=%d N=%d: order has %d entries, want %d", p, n, len(order), p*p)
+		}
+		seen := make([]bool, p*p)
+		for _, b := range order {
+			if b < 0 || b >= p*p || seen[b] {
+				t.Fatalf("P=%d N=%d: order not a permutation at %d", p, n, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestScheduledImageRoundTrip(t *testing.T) {
+	g, _, grid := imageFixture(t)
+	img, offsets, err := BuildEdgeImageScheduled(grid, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseEdgeImage(img, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumEdges() != g.NumEdges() {
+		t.Fatalf("parsed %d edges, want %d", parsed.NumEdges(), g.NumEdges())
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			want := grid.Block(x, y)
+			got := parsed.Block(x, y)
+			if len(got) != len(want) {
+				t.Fatalf("block (%d,%d): %d edges, want %d", x, y, len(got), len(want))
+			}
+		}
+	}
+	// Offsets in schedule order are strictly increasing.
+	order := ScheduleBlockOrder(8, 8)
+	var prev int64 = -1
+	for _, b := range order {
+		if offsets[b] <= prev {
+			t.Fatalf("scheduled offsets not increasing at block %d", b)
+		}
+		prev = offsets[b]
+	}
+	if _, _, err := BuildEdgeImageScheduled(grid, 3); err == nil {
+		t.Error("P not multiple of N accepted")
+	}
+}

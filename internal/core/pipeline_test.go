@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// The closed form fill + n·max(stages) must converge to the DES pipeline
+// for long streams: the request-level simulation and the Eq. (1) algebra
+// agree up to the pipeline's drain (sum of the non-binding stages).
+func TestClosedFormMatchesDESPipeline(t *testing.T) {
+	p := PipelineStages{
+		EdgeFetch: 1983 * units.Picosecond,
+		SrcRead:   960 * units.Picosecond,
+		Process:   1878 * units.Picosecond,
+		DstRMW:    1517 * units.Picosecond,
+		Fill:      29310 * units.Picosecond,
+	}
+	for _, n := range []int{1, 10, 1000, 50_000} {
+		des, err := SimulateBlockPipeline(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := p.ClosedFormBlockTime(n)
+		// The DES includes the drain of the trailing stages (≤ sum of
+		// all stages); beyond that the two must agree exactly.
+		drain := p.EdgeFetch + p.SrcRead + p.Process + p.DstRMW
+		diff := float64(des - closed)
+		if diff < 0 || diff > float64(drain) {
+			t.Errorf("n=%d: DES %v vs closed form %v (diff %v, allowed [0,%v])",
+				n, des, closed, units.Time(diff), drain)
+		}
+		// Relative agreement tightens with stream length.
+		if n >= 1000 {
+			if rel := math.Abs(diff) / float64(closed); rel > 0.01 {
+				t.Errorf("n=%d: closed form off by %.2f%%", n, 100*rel)
+			}
+		}
+	}
+}
+
+// Whatever the stage assignment, the DES never beats the closed form
+// (the closed form is the steady-state lower bound plus fill) and never
+// exceeds it by more than the drain.
+func TestClosedFormBoundsQuick(t *testing.T) {
+	f := func(a, b, c, d uint16, n uint8) bool {
+		p := PipelineStages{
+			EdgeFetch: units.Time(a%5000) + 1,
+			SrcRead:   units.Time(b%5000) + 1,
+			Process:   units.Time(c%5000) + 1,
+			DstRMW:    units.Time(d%5000) + 1,
+		}
+		edges := int(n%200) + 1
+		des, err := SimulateBlockPipeline(p, edges)
+		if err != nil {
+			return false
+		}
+		closed := p.ClosedFormBlockTime(edges)
+		drain := p.EdgeFetch + p.SrcRead + p.Process + p.DstRMW
+		return des >= closed && des <= closed+drain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineDegenerateCases(t *testing.T) {
+	p := PipelineStages{EdgeFetch: 1, SrcRead: 1, Process: 1, DstRMW: 1}
+	if got, err := SimulateBlockPipeline(p, 0); err != nil || got != 0 {
+		t.Errorf("empty block: %v, %v", got, err)
+	}
+	if p.ClosedFormBlockTime(0) != 0 {
+		t.Error("closed form of empty block not zero")
+	}
+	bad := PipelineStages{EdgeFetch: -1}
+	if _, err := SimulateBlockPipeline(bad, 5); err == nil {
+		t.Error("negative stage accepted")
+	}
+}
+
+// Single-edge case: DES time is the sum of all stages plus fill (no
+// overlap possible with one edge).
+func TestSingleEdgeIsStageSum(t *testing.T) {
+	p := PipelineStages{
+		EdgeFetch: 10, SrcRead: 20, Process: 30, DstRMW: 40, Fill: 100,
+	}
+	got, err := SimulateBlockPipeline(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := units.Time(200); got != want {
+		t.Errorf("single edge = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+)
+
+// The substitution argument of DESIGN.md §1: running a down-scaled
+// instance with full-scale capacity sizing preserves the figure of merit.
+// Simulate the "same" workload at two instance scales — identical
+// |E|/|V|, identical full-scale sizes, identical P — and require the
+// MTEPS/W to agree closely. This is what makes the 1/64-scale LJ and
+// 1/1024-scale TW instances faithful stand-ins.
+func TestScaleInvarianceOfEnergyEfficiency(t *testing.T) {
+	const fullV, fullE = 4_850_000, 69_000_000
+	makeWorkload := func(scale int, seed uint64) Workload {
+		g, err := graph.GenerateRMAT(fullV/scale, fullE/scale, graph.DefaultRMAT, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Workload{
+			DatasetName:  "scaled",
+			Graph:        g,
+			FullVertices: fullV,
+			FullEdges:    fullE,
+			Program:      algo.NewPageRank(),
+			Iterations:   10,
+		}
+	}
+	for _, cfg := range []Config{HyVE(), HyVEOpt(), SRAMDRAM()} {
+		coarse := simulate(t, cfg, makeWorkload(512, 1))
+		fine := simulate(t, cfg, makeWorkload(128, 1))
+		if coarse.Detail.P != fine.Detail.P {
+			t.Fatalf("%s: P differs across scales: %d vs %d", cfg.Name, coarse.Detail.P, fine.Detail.P)
+		}
+		a := coarse.Report.MTEPSPerWatt()
+		b := fine.Report.MTEPSPerWatt()
+		if rel := math.Abs(a-b) / b; rel > 0.12 {
+			t.Errorf("%s: MTEPS/W not scale-invariant: %.1f at 1/512 vs %.1f at 1/128 (%.0f%% apart)",
+				cfg.Name, a, b, 100*rel)
+		}
+	}
+}
+
+// Time and energy themselves must scale linearly with the instance (the
+// ratios above are quotients of two linear quantities).
+func TestTimeAndEnergyScaleLinearly(t *testing.T) {
+	const fullV, fullE = 4_850_000, 69_000_000
+	mk := func(scale int) Workload {
+		g, err := graph.GenerateRMAT(fullV/scale, fullE/scale, graph.DefaultRMAT, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Workload{
+			DatasetName: "scaled", Graph: g,
+			FullVertices: fullV, FullEdges: fullE,
+			Program: algo.NewPageRank(), Iterations: 10,
+		}
+	}
+	small := simulate(t, HyVEOpt(), mk(512))
+	large := simulate(t, HyVEOpt(), mk(128))
+	tRatio := large.Report.Time.Seconds() / small.Report.Time.Seconds()
+	eRatio := large.Report.Energy.Total().Joules() / small.Report.Energy.Total().Joules()
+	for what, r := range map[string]float64{"time": tRatio, "energy": eRatio} {
+		if r < 3.4 || r > 4.6 {
+			t.Errorf("%s ratio at 4x instance = %.2f, want ≈4", what, r)
+		}
+	}
+}

@@ -1,0 +1,595 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/device"
+	"repro/internal/device/dram"
+	"repro/internal/device/rram"
+	"repro/internal/device/sram"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/partition"
+	"repro/internal/units"
+)
+
+// Workload binds a graph instance, the full-scale sizes used for
+// capacity decisions, and a program.
+type Workload struct {
+	// DatasetName labels the workload in reports.
+	DatasetName string
+	// Graph is the instance actually streamed.
+	Graph *graph.Graph
+	// FullVertices/FullEdges are the capacity-sizing counts. When zero
+	// they default to the instance's own sizes. For the paper's
+	// down-scaled dataset instances these carry the published full
+	// sizes, which keeps the partition count P — and therefore every
+	// traffic ratio — identical to the full-scale run (DESIGN.md §1).
+	FullVertices int64
+	FullEdges    int64
+	// Program is the algorithm to execute.
+	Program algo.Program
+	// Iterations overrides the iteration count; 0 derives it from a
+	// functional run of the program.
+	Iterations int
+	// ActivityFactor is the fraction of edge traversals whose scatter
+	// was active; UpdateFactor the fraction that wrote the destination.
+	// Zero means unknown: derived from the functional run when
+	// Iterations is 0, else treated as 1 (every edge updates). The
+	// factors scale update-side dynamic energy (the pipeline still
+	// streams every edge, so timing is unaffected).
+	ActivityFactor float64
+	UpdateFactor   float64
+}
+
+// WorkloadFor assembles the standard workload for a paper dataset.
+func WorkloadFor(d graph.Dataset, p algo.Program) (Workload, error) {
+	g, err := d.Load()
+	if err != nil {
+		return Workload{}, err
+	}
+	if p.NeedsWeights() && !g.Weighted() {
+		g = g.Clone()
+		graph.AttachUniformWeights(g, 8, d.Seed^0x5EED)
+	}
+	return Workload{
+		DatasetName:  d.Name,
+		Graph:        g,
+		FullVertices: d.FullVertices,
+		FullEdges:    d.FullEdges,
+		Program:      p,
+	}, nil
+}
+
+func (w Workload) fullVertices() int64 {
+	if w.FullVertices > 0 {
+		return w.FullVertices
+	}
+	return int64(w.Graph.NumVertices)
+}
+
+func (w Workload) fullEdges() int64 {
+	if w.FullEdges > 0 {
+		return w.FullEdges
+	}
+	return int64(w.Graph.NumEdges())
+}
+
+// Detail exposes the per-iteration anatomy of a simulated run, used by
+// the optimization experiments (Figs. 14/15/17/18) and tests.
+type Detail struct {
+	P              int // interval count
+	SuperBlockSide int // P / N
+	Iterations     int
+
+	// Per-iteration time split.
+	LoadTime      units.Time // interval loading (sources + destinations)
+	ProcessTime   units.Time // edge streaming through the PUs
+	WritebackTime units.Time
+	OverheadTime  units.Time // sync + reroute + fills
+
+	// Per-iteration off-chip vertex traffic in bytes.
+	SrcLoadBytes   int64
+	DstLoadBytes   int64
+	WritebackBytes int64
+	EdgeBytes      int64
+
+	// Gating outcome over the whole run (zero value when disabled).
+	Gate mem.GateStats
+}
+
+// IterTime is the per-iteration wall time.
+func (d *Detail) IterTime() units.Time {
+	return d.LoadTime + d.ProcessTime + d.WritebackTime + d.OverheadTime
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Report energy.Report
+	Detail Detail
+}
+
+// routerWordEnergy is the wire+mux energy of moving one 32-bit word
+// through the pipelined N×N source router (§4.2). The paper bounds the
+// router's latency (5–10 SRAM cycles, hidden by pipelining) and treats
+// its energy as small; 2 pJ/word is the on-chip interconnect scale for
+// millimeter-range 22 nm wires.
+const routerWordEnergy = units.Energy(2)
+
+// gridRowHitRate is the row-buffer hit rate of per-edge vertex accesses
+// in the SRAM-less baselines (acc+DRAM, acc+ReRAM). Those configurations
+// still run the interval-block schedule, so their "random" vertex
+// accesses are confined to the current interval pair — a working set of
+// a few hundred DRAM rows spread over the banks — rather than the whole
+// graph; most accesses reopen a recently used row. The rate scales with
+// the open-row footprint: a DRAM bank exposes an 8 KB page, while a
+// ReRAM mat exposes only its 64-byte output line, so ReRAM gets almost
+// no reuse (8192/64 = 128× smaller window).
+func gridRowHitRate(kind MemKind) float64 {
+	if kind == MemDRAM {
+		return 0.75
+	}
+	return 0.05
+}
+
+// Simulate runs w under cfg and returns time, energy, and detail.
+func Simulate(cfg Config, w Workload) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w.Graph == nil || w.Graph.NumVertices == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	if w.Program == nil {
+		return nil, fmt.Errorf("core: workload has no program")
+	}
+
+	s, err := newSim(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// machine holds the assembled simulator for one run.
+type machine struct {
+	cfg Config
+	w   Workload
+
+	edgeDev device.Memory
+	vtxDev  device.Memory
+	edgeReg *mem.Region
+	vtxReg  *mem.Region
+	onchip  *sram.SRAM // nil without on-chip vertex memory
+	pu      *device.CMOSPU
+	gate    *mem.GatedBanks // nil without power gating
+
+	p          int // intervals
+	grid       *partition.Grid
+	valueBytes int
+	words      int // 32-bit words per vertex value
+}
+
+func newSim(cfg Config, w Workload) (*machine, error) {
+	s := &machine{cfg: cfg, w: w, pu: device.NewCMOSPU()}
+	s.valueBytes = w.Program.ValueBytes()
+	s.words = (s.valueBytes + 3) / 4
+
+	rchip, err := rram.New(cfg.RRAM)
+	if err != nil {
+		return nil, err
+	}
+	dchip, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	pick := func(k MemKind) device.Memory {
+		if k == MemReRAM {
+			return rchip
+		}
+		return dchip
+	}
+	s.edgeDev = pick(cfg.EdgeMemory)
+	if cfg.CustomEdgeDevice != nil {
+		s.edgeDev = cfg.CustomEdgeDevice
+	}
+	s.vtxDev = pick(cfg.VertexMemory)
+
+	// Regions sized for the full-scale workload (§3.4 layout: blocks and
+	// intervals stored sequentially, plus headers — headers are <1% and
+	// folded into the data size).
+	edgeBytes := w.fullEdges() * graph.EdgeBytes
+	if w.Program.NeedsWeights() {
+		edgeBytes += w.fullEdges() * 4
+	}
+	// The edge memory is main-memory scale and DIMM-organized: a rank of
+	// eight x8 devices populates the channel (§3.1 "organized the same
+	// way as commodity DRAM counterparts"). The vertex memory is a small
+	// dedicated device on the second channel of the §3.3 dual-channel bus.
+	if s.edgeReg, err = mem.NewRankedRegion("edge", s.edgeDev, edgeBytes, 8); err != nil {
+		return nil, err
+	}
+	if s.vtxReg, err = mem.NewRegion("vertex", s.vtxDev, w.fullVertices()*int64(s.valueBytes)); err != nil {
+		return nil, err
+	}
+
+	if cfg.UseOnChipSRAM {
+		if s.onchip, err = sram.New(cfg.SRAMBytes); err != nil {
+			return nil, err
+		}
+		// P from full-scale vertices so partition counts match the
+		// paper's machine; clamped to the instance so intervals are
+		// non-empty.
+		p, err := partition.ChooseP(w.fullVertices(), int(cfg.SRAMBytes), s.valueBytes, cfg.NumPUs)
+		if err != nil {
+			return nil, err
+		}
+		s.p = clampP(p, w.Graph.NumVertices, cfg.NumPUs)
+	} else {
+		// Without on-chip vertex memory the schedule degenerates to N
+		// parallel streams; keep one interval per PU for block shape.
+		s.p = clampP(cfg.NumPUs, w.Graph.NumVertices, cfg.NumPUs)
+	}
+
+	asg, err := partition.NewHashed(w.Graph.NumVertices, s.p)
+	if err != nil {
+		return nil, err
+	}
+	if s.grid, err = partition.Build(w.Graph, asg); err != nil {
+		return nil, err
+	}
+
+	if cfg.PowerGating {
+		// Bank geometry for gating: the ReRAM chip's when it is the edge
+		// device; a custom NVM device is treated as 8 banks per chip with
+		// its background split pro rata (banked organization is the
+		// commodity norm, §3.1).
+		bankLeak := rchip.BankLeakage()
+		ioLeak := rchip.IOLeakage()
+		banksPerChip := rchip.NumBanks()
+		if cfg.CustomEdgeDevice != nil {
+			banksPerChip = 8
+			bankLeak = units.Power(float64(s.edgeDev.Background()) * 0.8 / float64(banksPerChip))
+			ioLeak = units.Power(float64(s.edgeDev.Background()) * 0.2)
+		}
+		totalBanks := banksPerChip * s.edgeReg.Chips
+		s.gate, err = mem.NewGatedBanks(cfg.Gate, bankLeak, totalBanks,
+			units.Power(float64(ioLeak)*float64(s.edgeReg.Chips)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// clampP keeps P a positive multiple of n that does not exceed the
+// instance vertex count.
+func clampP(p, numVertices, n int) int {
+	if p > numVertices {
+		p = numVertices / n * n
+	}
+	if p < n {
+		p = n
+	}
+	return p
+}
+
+// stageCosts are the per-edge pipeline stages of Eq. (1):
+// max(T_edge, T_src, T_pu, T_dst) bounds the streaming rate.
+type stageCosts struct {
+	perEdge units.Time
+
+	edgeEnergy units.Energy // edge memory share per edge
+	srcEnergy  units.Energy // source vertex read per edge
+	dstRead    units.Energy // destination read per edge (always: the gather compares)
+	dstWrite   units.Energy // destination write per *updating* edge
+	puEnergy   units.Energy // control + sequencing per edge
+	puOpEnergy units.Energy // arithmetic op per *active* edge
+	srcOffchip bool         // source/destination accesses hit the off-chip region
+	activity   float64      // fraction of edges whose scatter fired
+	updates    float64      // fraction of edges that wrote the destination
+}
+
+// perEdgeEnergy folds the activity factors into one edge's dynamic cost.
+func (st *stageCosts) vertexEnergy() units.Energy {
+	return st.srcEnergy + st.dstRead + st.dstWrite.Times(st.updates)
+}
+
+func (st *stageCosts) logicEnergy() units.Energy {
+	return st.puEnergy + st.puOpEnergy.Times(st.activity)
+}
+
+func (s *machine) stages() stageCosts {
+	edgeLine := s.edgeReg.Read(true)
+	edgeSize := int64(graph.EdgeBytes)
+	if s.w.Program.NeedsWeights() {
+		edgeSize += 4
+	}
+	edgesPerLine := float64(s.edgeReg.LineBytes()) / float64(edgeSize)
+	if edgesPerLine < 1 {
+		edgesPerLine = 1
+	}
+	// N PU streams share the edge channel.
+	edgeStage := units.Time(float64(edgeLine.Latency) * float64(s.cfg.NumPUs) / edgesPerLine)
+
+	var st stageCosts
+	st.edgeEnergy = units.Energy(float64(edgeLine.Energy) / edgesPerLine)
+	st.puEnergy = s.pu.CtrlEnergy
+	st.puOpEnergy = s.pu.Op().Energy
+	st.activity = 1
+	st.updates = 1
+	if s.w.ActivityFactor > 0 {
+		st.activity = s.w.ActivityFactor
+	}
+	if s.w.UpdateFactor > 0 {
+		st.updates = s.w.UpdateFactor
+	}
+	puStage := s.pu.Op().Latency
+
+	var srcStage, dstStage units.Time
+	if s.onchip != nil {
+		rd, wr := s.onchip.Read(false), s.onchip.Write(false)
+		srcStage = rd.Latency.Times(float64(s.words))
+		dstStage = (rd.Latency + wr.Latency).Times(float64(s.words))
+		st.srcEnergy = rd.Energy.Times(float64(s.words))
+		st.dstRead = rd.Energy.Times(float64(s.words))
+		st.dstWrite = wr.Energy.Times(float64(s.words))
+	} else {
+		// Interval-confined accesses: blend open-row and full-activation
+		// costs at the device's schedule-induced hit rate.
+		h := gridRowHitRate(s.cfg.VertexMemory)
+		blend := func(hit, miss device.Cost) device.Cost {
+			return hit.Times(h).Plus(miss.Times(1 - h))
+		}
+		rd := blend(s.vtxReg.Read(true), s.vtxReg.Read(false))
+		wr := blend(s.vtxReg.Write(true), s.vtxReg.Write(false))
+		srcStage = rd.Latency
+		dstStage = rd.Latency + wr.Latency
+		st.srcEnergy = rd.Energy
+		st.dstRead = rd.Energy
+		st.dstWrite = wr.Energy
+		st.srcOffchip = true
+	}
+	st.perEdge = units.MaxTime(edgeStage, srcStage, puStage, dstStage)
+	return st
+}
+
+// intervalBytes returns the vertex-value bytes of interval i.
+func (s *machine) intervalBytes(i int) int64 {
+	return int64(s.grid.Assigner.IntervalLen(i)) * int64(s.valueBytes)
+}
+
+// transferCost models moving an interval between the off-chip vertex
+// memory and an on-chip section through the load port: the stream issues
+// one off-chip line per max(off-chip line interval, SRAM cycle), and
+// energy is charged on both sides (per-line off-chip, per-word on-chip).
+func (s *machine) transferCost(bytes int64, toOffchip bool) (units.Time, units.Energy, units.Energy) {
+	if bytes <= 0 {
+		return 0, 0, 0
+	}
+	lines := device.Lines(s.vtxDev, bytes)
+	var off device.Cost
+	if toOffchip {
+		off = s.vtxReg.Write(true)
+	} else {
+		off = s.vtxReg.Read(true)
+	}
+	interval := units.MaxTime(off.Latency, s.onchip.Cycle())
+	t := interval.Times(float64(lines))
+	offE := off.Energy.Times(float64(lines))
+	words := float64((bytes + 3) / 4)
+	var onE units.Energy
+	if toOffchip {
+		onE = s.onchip.Read(true).Energy.Times(words)
+	} else {
+		onE = s.onchip.Write(true).Energy.Times(words)
+	}
+	return t, offE, onE
+}
+
+// run walks Algorithm 2 once to price an iteration, derives the
+// iteration count from a functional run (or the workload override), and
+// assembles the report.
+func (s *machine) run() (*Result, error) {
+	iters := s.w.Iterations
+	var edgesProcessed int64
+	if iters <= 0 {
+		fr, err := algo.Run(s.w.Program, s.w.Graph)
+		if err != nil {
+			return nil, err
+		}
+		iters = fr.Iterations
+		edgesProcessed = fr.EdgesProcessed
+		if s.w.ActivityFactor == 0 {
+			s.w.ActivityFactor = fr.ActivityRatio()
+		}
+		if s.w.UpdateFactor == 0 {
+			s.w.UpdateFactor = fr.UpdateRatio()
+		}
+	} else {
+		edgesProcessed = int64(iters) * int64(s.w.Graph.NumEdges())
+	}
+
+	iterTime, iterBD, detail := s.iterationCost()
+	detail.Iterations = iters
+
+	totalTime := iterTime.Times(float64(iters))
+	var bd energy.Breakdown
+	for it := 0; it < iters; it++ {
+		bd.AddAll(&iterBD)
+	}
+
+	// Background energy over the whole run.
+	bd.Add(energy.VertexMemoryOffChip, s.vtxReg.Background().Over(totalTime))
+	if s.onchip != nil {
+		perPU := s.onchip.Background()
+		bd.Add(energy.VertexMemoryOnChip, units.Power(float64(perPU)*float64(s.cfg.NumPUs)).Over(totalTime))
+	}
+	bd.Add(energy.Logic, units.Power(float64(s.pu.Leakage)*float64(s.cfg.NumPUs)).Over(totalTime))
+
+	// Edge memory background: gated (streaming windows only) or full.
+	if s.gate != nil {
+		edgeBytesUsed := s.w.fullEdges() * graph.EdgeBytes
+		bankBytes := s.edgeDev.CapacityBytes() / int64(s.gate.TotalBanks/s.edgeReg.Chips)
+		banksTouched := int((edgeBytesUsed + bankBytes - 1) / bankBytes)
+		for it := 0; it < iters; it++ {
+			ge, penalty := s.gate.Streaming(detail.ProcessTime, banksTouched)
+			bd.Add(energy.EdgeMemory, ge)
+			bd.Add(energy.EdgeMemory, s.gate.Idle(iterTime-detail.ProcessTime))
+			totalTime += penalty
+		}
+		detail.Gate = s.gate.Stats()
+	} else {
+		bd.Add(energy.EdgeMemory, s.edgeReg.Background().Over(totalTime))
+	}
+
+	rep := energy.Report{
+		Config:         s.cfg.Name,
+		Algorithm:      s.w.Program.Name(),
+		Dataset:        s.w.DatasetName,
+		Time:           totalTime,
+		Energy:         bd,
+		EdgesProcessed: edgesProcessed,
+		Iterations:     iters,
+	}
+	return &Result{Report: rep, Detail: detail}, nil
+}
+
+// iterationCost walks one full pass of Algorithm 2 over the grid and
+// returns its time, dynamic energy, and phase detail. The walk is exact:
+// every block's edge count prices its step, every interval's true length
+// prices its transfers.
+func (s *machine) iterationCost() (units.Time, energy.Breakdown, Detail) {
+	var bd energy.Breakdown
+	var d Detail
+	d.P = s.p
+	n := s.cfg.NumPUs
+	pn := s.p / n
+	d.SuperBlockSide = pn
+	st := s.stages()
+
+	var total units.Time
+	// One stream fill at iteration start (the edge memory is a
+	// continuous read-only stream thereafter, §3.1).
+	fill := s.edgeReg.Read(false).Latency
+	total += fill
+	d.OverheadTime += fill
+
+	edgeSize := int64(graph.EdgeBytes)
+	if s.w.Program.NeedsWeights() {
+		edgeSize += 4
+	}
+
+	loadInterval := func(i int) units.Time { // off-chip → on-chip
+		bytes := s.intervalBytes(i)
+		t, offE, onE := s.transferCost(bytes, false)
+		bd.Add(energy.VertexMemoryOffChip, offE)
+		bd.Add(energy.VertexMemoryOnChip, onE)
+		d.SrcLoadBytes += bytes // callers fix up dst counters
+		return t
+	}
+
+	for y := 0; y < pn; y++ {
+		for x := 0; x < pn; x++ {
+			if s.onchip != nil {
+				// Destination intervals: with sharing they stay on-chip
+				// for the whole y-column; without, they bounce per
+				// super block (Fig. 14 baseline).
+				if (s.cfg.DataSharing && x == 0) || !s.cfg.DataSharing {
+					for i := 0; i < n; i++ {
+						iv := y*n + i
+						t := loadInterval(iv)
+						b := s.intervalBytes(iv)
+						d.SrcLoadBytes -= b
+						d.DstLoadBytes += b
+						total += t
+						d.LoadTime += t
+					}
+				}
+				// Source intervals: shared mode loads each once per
+				// super block.
+				if s.cfg.DataSharing {
+					for i := 0; i < n; i++ {
+						t := loadInterval(x*n + i)
+						total += t
+						d.LoadTime += t
+					}
+				}
+			}
+
+			for step := 0; step < n; step++ {
+				if s.onchip != nil && !s.cfg.DataSharing {
+					// Every PU fetches the source interval it is about
+					// to consume from off-chip (serialized on the
+					// channel) — the reloading the router scheme avoids.
+					for p := 0; p < n; p++ {
+						t := loadInterval(x*n + (p+step)%n)
+						total += t
+						d.LoadTime += t
+					}
+				}
+				var stepMax units.Time
+				for p := 0; p < n; p++ {
+					src := x*n + (p+step)%n
+					dst := y*n + p
+					blkLen := s.grid.BlockLen(src, dst)
+					if blkLen == 0 {
+						continue
+					}
+					bt := st.perEdge.Times(float64(blkLen))
+					if bt > stepMax {
+						stepMax = bt
+					}
+					e := float64(blkLen)
+					bd.Add(energy.EdgeMemory, st.edgeEnergy.Times(e))
+					bd.Add(energy.Logic, st.logicEnergy().Times(e))
+					if st.srcOffchip {
+						bd.Add(energy.VertexMemoryOffChip, st.vertexEnergy().Times(e))
+					} else {
+						bd.Add(energy.VertexMemoryOnChip, st.vertexEnergy().Times(e))
+						if s.cfg.DataSharing && step > 0 {
+							// Remote source interval through the router.
+							bd.Add(energy.Router, routerWordEnergy.Times(e*float64(s.words)))
+						}
+					}
+					d.EdgeBytes += int64(blkLen) * edgeSize
+				}
+				d.ProcessTime += stepMax
+				if stepMax > 0 {
+					// Each PU's block starts at a fresh edge-memory
+					// region: the stream redirects and pays one array
+					// access latency before refilling (the per-block
+					// cost behind Fig. 18's slight HyVE degradation).
+					fill := s.edgeReg.Read(false).Latency
+					stepMax += fill
+					d.OverheadTime += fill
+				}
+				total += stepMax
+
+				if s.cfg.DataSharing && step > 0 {
+					r := s.onchip.Cycle().Times(float64(s.cfg.RerouteCycles))
+					total += r
+					d.OverheadTime += r
+				}
+				total += s.cfg.SyncOverhead
+				d.OverheadTime += s.cfg.SyncOverhead
+			}
+
+			if s.onchip != nil && (!s.cfg.DataSharing || x == pn-1) {
+				// Write destinations back (Algorithm 2 "Updating").
+				for i := 0; i < n; i++ {
+					bytes := s.intervalBytes(y*n + i)
+					t, offE, onE := s.transferCost(bytes, true)
+					bd.Add(energy.VertexMemoryOffChip, offE)
+					bd.Add(energy.VertexMemoryOnChip, onE)
+					d.WritebackBytes += bytes
+					total += t
+					d.WritebackTime += t
+				}
+			}
+		}
+	}
+	return total, bd, d
+}

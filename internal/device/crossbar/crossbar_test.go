@@ -1,0 +1,131 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func mustXbar(t *testing.T) *Crossbar {
+	t.Helper()
+	c, err := New(GraphRParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGraphRParams(t *testing.T) {
+	p := GraphRParams()
+	if p.Dim != 8 || p.CellBits != 4 || p.ValueBits != 16 {
+		t.Errorf("GraphR geometry drifted: %+v", p)
+	}
+	if p.ReadCost.Latency != units.Time(29.31*1000) {
+		t.Errorf("read latency = %v, want 29.31ns", p.ReadCost.Latency)
+	}
+	if p.WriteCost.Energy != units.Energy(3.91*1000) {
+		t.Errorf("write energy = %v, want 3.91nJ", p.WriteCost.Energy)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := GraphRParams()
+	p.Dim = 0
+	if _, err := New(p); err == nil {
+		t.Error("zero dim accepted")
+	}
+	p = GraphRParams()
+	p.ValueBits = 10 // not a multiple of 4
+	if _, err := New(p); err == nil {
+		t.Error("non-multiple value bits accepted")
+	}
+	p = GraphRParams()
+	p.CellBits = 0
+	if _, err := New(p); err == nil {
+		t.Error("zero cell bits accepted")
+	}
+}
+
+func TestGangCount(t *testing.T) {
+	c := mustXbar(t)
+	if c.Gangs() != 4 {
+		t.Errorf("Gangs = %d, want 4 (16-bit ops over 4-bit cells)", c.Gangs())
+	}
+}
+
+func TestProgramBlockScalesWithEdges(t *testing.T) {
+	c := mustXbar(t)
+	one := c.ProgramBlock(1)
+	ten := c.ProgramBlock(10)
+	if ten.Latency != one.Latency.Times(10) || ten.Energy != one.Energy.Times(10) {
+		t.Errorf("ProgramBlock not linear: 1→%v, 10→%v", one, ten)
+	}
+	// Energy counts all four gangs per edge.
+	if one.Energy != GraphRParams().WriteCost.Energy.Times(4) {
+		t.Errorf("per-edge program energy = %v, want 4×3.91nJ", one.Energy)
+	}
+	if got := c.ProgramBlock(0); got != c.ProgramBlock(-1) || got.Energy != 0 {
+		t.Error("empty block should cost nothing")
+	}
+}
+
+func TestRowWiseCostsDimTimesMVM(t *testing.T) {
+	c := mustXbar(t)
+	mvm := c.MVM()
+	rw := c.RowWiseOps()
+	if rw.Latency != mvm.Latency.Times(8) || rw.Energy != mvm.Energy.Times(8) {
+		t.Errorf("row-wise %v != 8× MVM %v", rw, mvm)
+	}
+}
+
+// The paper's Eq. (15) per-edge energy must agree with the block-level
+// cost divided by occupancy when every block holds exactly navg edges.
+func TestPerEdgeEnergyConsistentWithBlockCost(t *testing.T) {
+	c := mustXbar(t)
+	for _, n := range []int{1, 2, 5, 64} {
+		blk := c.ProcessBlockMVM(n)
+		perEdge := float64(blk.Energy) / float64(n)
+		eq15 := float64(c.PerEdgeEnergyMVM(float64(n)))
+		if math.Abs(perEdge-eq15) > 1e-6*eq15 {
+			t.Errorf("n=%d: block/n = %v pJ, Eq.15 = %v pJ", n, perEdge, eq15)
+		}
+	}
+	if c.PerEdgeEnergyMVM(0) != 0 || c.PerEdgeLatencyMVM(-1) != 0 {
+		t.Error("degenerate navg should cost nothing")
+	}
+}
+
+func TestPerEdgeLatencyEq16(t *testing.T) {
+	c := mustXbar(t)
+	p := GraphRParams()
+	navg := 1.44 // Table 1, YT
+	want := float64(p.WriteCost.Latency) + float64(p.ReadCost.Latency)/navg
+	if got := float64(c.PerEdgeLatencyMVM(navg)); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Eq.16 latency = %v, want %v", got, want)
+	}
+}
+
+// §6.4's headline: writing an edge into the crossbar costs far more than
+// a CMOS op (3.91 nJ ≫ 3.7 pJ), hence E_cb_pu,mv > E_cmos_pu.
+func TestCrossbarEdgeDominatesCMOS(t *testing.T) {
+	c := mustXbar(t)
+	const cmosOpPJ = 3.7
+	perEdge := float64(c.PerEdgeEnergyMVM(2.38)) // best-case Navg from Table 1
+	if perEdge < 100*cmosOpPJ {
+		t.Errorf("crossbar per-edge energy %v pJ should dwarf CMOS %v pJ", perEdge, cmosOpPJ)
+	}
+}
+
+func TestProcessBlockVariants(t *testing.T) {
+	c := mustXbar(t)
+	n := 3
+	mvm := c.ProcessBlockMVM(n)
+	rw := c.ProcessBlockRowWise(n)
+	if rw.Latency <= mvm.Latency || rw.Energy <= mvm.Energy {
+		t.Error("row-wise processing must cost more than a single MVM")
+	}
+	if c.ProcessBlockMVM(0).Energy != 0 || c.ProcessBlockRowWise(0).Energy != 0 {
+		t.Error("empty blocks should cost nothing")
+	}
+}

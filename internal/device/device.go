@@ -1,0 +1,92 @@
+// Package device defines the common vocabulary for memory and compute
+// device models — per-access cost pairs, the Memory interface consumed by
+// the architecture simulators — plus the CMOS processing-unit model the
+// paper uses for HyVE's edge-update logic.
+//
+// Concrete memory technologies live in the subpackages rram, dram, sram,
+// and crossbar. Each is calibrated against the operating points the paper
+// publishes (NVSim, CACTI 6.5, Micron power calculator, GraphR) so the
+// simulators consume the same numbers the authors' simulator did.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Cost is the (latency, energy) price of one device operation.
+type Cost struct {
+	Latency units.Time
+	Energy  units.Energy
+}
+
+// Plus returns the element-wise sum of two costs (sequenced operations).
+func (c Cost) Plus(o Cost) Cost {
+	return Cost{Latency: c.Latency + o.Latency, Energy: c.Energy + o.Energy}
+}
+
+// Times scales the cost by a count of identical operations.
+func (c Cost) Times(n float64) Cost {
+	return Cost{Latency: c.Latency.Times(n), Energy: c.Energy.Times(n)}
+}
+
+// EDP returns the cost's energy-delay product.
+func (c Cost) EDP() units.EDP { return units.EDPOf(c.Energy, c.Latency) }
+
+func (c Cost) String() string {
+	return fmt.Sprintf("{%v, %v}", c.Latency, c.Energy)
+}
+
+// Memory is the device abstraction the architecture simulators consume:
+// a line-oriented storage with distinct sequential and random access
+// costs and a background (leakage + refresh) power draw.
+//
+// Sequential accesses stream consecutive lines (row-buffer/page hits for
+// DRAM, same-mat streaming for ReRAM); random accesses pay the full
+// activation path. This is exactly the distinction the paper builds
+// HyVE around (§3: "Edge data access is essentially a sequential read …
+// vertex data access involves fine-grained random read and write").
+type Memory interface {
+	// Name identifies the device for reports ("ReRAM-4Gb", "DDR4-2133-8Gb" …).
+	Name() string
+	// LineBytes is the native transfer granularity: one access moves one line.
+	LineBytes() int
+	// CapacityBytes is the total storage of the configured device.
+	CapacityBytes() int64
+	// Read returns the cost of reading one line.
+	Read(sequential bool) Cost
+	// Write returns the cost of writing one line.
+	Write(sequential bool) Cost
+	// Background is the always-on power of the device when it is powered
+	// (leakage, refresh, peripheral standby). Power gating, where
+	// applicable, is modeled by the memory-system layer, not here.
+	Background() units.Power
+}
+
+// Sweep computes the total cost of moving the given number of bytes
+// through m: accesses are rounded up to whole lines, and each line pays
+// the device's per-line cost. Latencies accumulate as pipelined streaming
+// throughput (one line per line-latency), which is how both the paper's
+// Eq. (1) and real burst interfaces behave for bulk transfers.
+func Sweep(m Memory, bytes int64, sequential, write bool) Cost {
+	if bytes <= 0 {
+		return Cost{}
+	}
+	lines := (bytes + int64(m.LineBytes()) - 1) / int64(m.LineBytes())
+	var per Cost
+	if write {
+		per = m.Write(sequential)
+	} else {
+		per = m.Read(sequential)
+	}
+	return per.Times(float64(lines))
+}
+
+// Lines returns how many native lines of m the given byte count spans.
+func Lines(m Memory, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + int64(m.LineBytes()) - 1) / int64(m.LineBytes())
+}

@@ -1,0 +1,176 @@
+// Package dram models the DDR4 SDRAM the paper uses for its conventional
+// baselines and for HyVE's off-chip vertex memory. Parameters follow the
+// paper's setup (§7.1): "generated using Micron System Power Calculators,
+// with a default DDR4 SDRAM configuration (e.g., Speed Grade is -093)",
+// i.e. DDR4-2133. Energy is computed with the standard Micron IDD
+// arithmetic over datasheet current values; timing from the -093 grade.
+//
+// Like the paper ("for a fair comparison … we set the same output width
+// for both DRAMs and ReRAMs"), the device is modeled at the same 512-bit
+// line granularity as the ReRAM edge memory.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// IDD holds the datasheet current values (mA) the Micron power
+// calculator consumes. Defaults are representative DDR4 x8 values.
+type IDD struct {
+	IDD0  float64 // activate-precharge average
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4R float64 // burst read
+	IDD4W float64 // burst write
+	IDD5B float64 // burst refresh
+}
+
+// Config selects a DDR4 device design point.
+type Config struct {
+	// DensityGb is the device density in gigabits: 4, 8, or 16.
+	DensityGb int
+	// DataRateMTs is the transfer rate; 2133 corresponds to the -093
+	// speed grade the paper uses.
+	DataRateMTs int
+	// VDD is the supply voltage (1.2 V for DDR4).
+	VDD float64
+	// Currents are the datasheet IDD values.
+	Currents IDD
+	// RowBytes is the page (row buffer) size.
+	RowBytes int
+}
+
+// DefaultConfig returns the paper's DDR4-2133 (-093) setup at 4 Gb.
+func DefaultConfig() Config {
+	return Config{
+		DensityGb:   4,
+		DataRateMTs: 2133,
+		VDD:         1.2,
+		Currents: IDD{
+			IDD0:  58,
+			IDD2N: 34,
+			IDD3N: 44,
+			IDD4R: 140,
+			IDD4W: 150,
+			IDD5B: 190,
+		},
+		RowBytes: 8192,
+	}
+}
+
+// Chip is a configured DDR4 device (modeled at rank granularity, 512-bit
+// line). It implements device.Memory.
+type Chip struct {
+	cfg Config
+
+	readSeq, readRand   device.Cost
+	writeSeq, writeRand device.Cost
+	background          units.Power
+}
+
+// lineBytes is the modeled transfer granularity — matched to the ReRAM
+// edge memory's 512-bit output per the paper's fair-comparison rule.
+const lineBytes = 64
+
+// New validates cfg and derives per-access costs via the Micron IDD
+// arithmetic.
+func New(cfg Config) (*Chip, error) {
+	switch cfg.DensityGb {
+	case 4, 8, 16:
+	default:
+		return nil, fmt.Errorf("dram: unsupported density %d Gb (want 4, 8, or 16)", cfg.DensityGb)
+	}
+	if cfg.DataRateMTs <= 0 {
+		return nil, fmt.Errorf("dram: non-positive data rate %d", cfg.DataRateMTs)
+	}
+	if cfg.VDD <= 0 {
+		return nil, fmt.Errorf("dram: non-positive VDD %v", cfg.VDD)
+	}
+	if cfg.RowBytes <= 0 {
+		return nil, fmt.Errorf("dram: non-positive row size %d", cfg.RowBytes)
+	}
+	c := &Chip{cfg: cfg}
+
+	tCK := units.Time(2.0 / float64(cfg.DataRateMTs) * 1e6 * float64(units.Picosecond)) // 2 ns·MT/s / rate
+	// -093 grade timing (ns): CL=tRCD=tRP=14.06, tRAS=33, tRC=47.06.
+	tRCD := units.Time(15 * float64(tCK))
+	tCL := tRCD
+	tRP := tRCD
+	tRAS := units.Time(35 * float64(tCK))
+	tRC := tRAS + tRP
+	burst := tCK.Times(4) // BL8 on a double data rate bus
+
+	mAToPJ := func(mA float64, t units.Time) units.Energy {
+		// I(mA) × V × t(ps) → pJ: mA·V = mW = pJ/ns.
+		return units.Power(mA * cfg.VDD).Over(t)
+	}
+
+	// Larger devices burn slightly more core energy per access (longer
+	// global wires) and much more background/refresh (more rows).
+	ds := map[int]float64{4: 1, 8: 1.19, 16: 1.41}[cfg.DensityGb]
+	bg := map[int]float64{4: 1, 8: 1.45, 16: 2.1}[cfg.DensityGb]
+
+	idd := cfg.Currents
+	// Activation + precharge energy of one row (Micron formula).
+	eAct := mAToPJ(idd.IDD0, tRC) - mAToPJ(idd.IDD3N, tRAS) - mAToPJ(idd.IDD2N, tRP)
+	// Read/write burst energy above standby.
+	eRd := mAToPJ(idd.IDD4R-idd.IDD3N, burst).Times(ds)
+	eWr := mAToPJ(idd.IDD4W-idd.IDD3N, burst).Times(ds)
+
+	linesPerRow := float64(cfg.RowBytes / lineBytes)
+	// Sequential: open-page streaming; the row activation amortizes over
+	// the whole row, and the interface issues one line per core period.
+	seqPeriod := tCK.Times(1.6)
+	c.readSeq = device.Cost{Latency: seqPeriod, Energy: eRd + eAct.Times(ds/linesPerRow)}
+	c.writeSeq = device.Cost{Latency: seqPeriod, Energy: eWr + eAct.Times(ds/linesPerRow)}
+	// Random: every access pays the closed-page activate→access path.
+	c.readRand = device.Cost{Latency: tRCD + tCL + burst, Energy: eRd + eAct.Times(ds)}
+	c.writeRand = device.Cost{Latency: tRCD + tCL + burst, Energy: eWr + eAct.Times(ds)}
+
+	// Background: active standby plus distributed refresh
+	// (8192 REFs per 64 ms window at tRFC).
+	standby := units.Power(idd.IDD3N * cfg.VDD * float64(units.Milliwatt))
+	tRFC := units.Time(350 * float64(units.Nanosecond))
+	refreshDuty := 8192 * tRFC.Seconds() / 64e-3
+	refresh := units.Power((idd.IDD5B - idd.IDD3N) * cfg.VDD * refreshDuty * float64(units.Milliwatt))
+	c.background = units.Power((float64(standby) + float64(refresh)) * bg)
+	return c, nil
+}
+
+// Name implements device.Memory.
+func (c *Chip) Name() string {
+	return fmt.Sprintf("DDR4-%d-%dGb", c.cfg.DataRateMTs, c.cfg.DensityGb)
+}
+
+// LineBytes implements device.Memory.
+func (c *Chip) LineBytes() int { return lineBytes }
+
+// CapacityBytes implements device.Memory.
+func (c *Chip) CapacityBytes() int64 { return int64(c.cfg.DensityGb) << 30 / 8 }
+
+// Read implements device.Memory.
+func (c *Chip) Read(sequential bool) device.Cost {
+	if sequential {
+		return c.readSeq
+	}
+	return c.readRand
+}
+
+// Write implements device.Memory.
+func (c *Chip) Write(sequential bool) device.Cost {
+	if sequential {
+		return c.writeSeq
+	}
+	return c.writeRand
+}
+
+// Background implements device.Memory.
+func (c *Chip) Background() units.Power { return c.background }
+
+// Config returns the device configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+var _ device.Memory = (*Chip)(nil)

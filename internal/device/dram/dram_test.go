@@ -1,0 +1,118 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func mustChip(t *testing.T, cfg Config) *Chip {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.DensityGb = 3
+	if _, err := New(bad); err == nil {
+		t.Error("bad density accepted")
+	}
+	bad = DefaultConfig()
+	bad.DataRateMTs = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero data rate accepted")
+	}
+	bad = DefaultConfig()
+	bad.VDD = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero VDD accepted")
+	}
+	bad = DefaultConfig()
+	bad.RowBytes = 0
+	if _, err := New(bad); err == nil {
+		t.Error("zero row size accepted")
+	}
+}
+
+func TestSequentialBeatsRandom(t *testing.T) {
+	c := mustChip(t, DefaultConfig())
+	if c.Read(true).Latency >= c.Read(false).Latency {
+		t.Error("sequential read not faster than random")
+	}
+	if c.Read(true).Energy >= c.Read(false).Energy {
+		t.Error("sequential read not cheaper than random")
+	}
+	if c.Write(true).Latency >= c.Write(false).Latency {
+		t.Error("sequential write not faster than random")
+	}
+}
+
+// Random access pays a full activate: latency ~tRCD+tCL+burst ≈ 32ns at
+// DDR4-2133, an order of magnitude above the streaming interval.
+func TestRandomLatencyIsActivatePath(t *testing.T) {
+	c := mustChip(t, DefaultConfig())
+	lat := c.Read(false).Latency
+	if lat < 25*units.Nanosecond || lat > 40*units.Nanosecond {
+		t.Errorf("random read latency %v outside the DDR4-2133 activate window", lat)
+	}
+	if seq := c.Read(true).Latency; seq > 3*units.Nanosecond {
+		t.Errorf("sequential line interval %v too slow for a 2133 MT/s stream", seq)
+	}
+}
+
+func TestBackgroundIncludesRefreshAndScalesWithDensity(t *testing.T) {
+	var prev units.Power
+	for _, d := range []int{4, 8, 16} {
+		cfg := DefaultConfig()
+		cfg.DensityGb = d
+		c := mustChip(t, cfg)
+		if c.Background() <= prev {
+			t.Errorf("%dGb background %v not above previous %v", d, c.Background(), prev)
+		}
+		prev = c.Background()
+	}
+	// Background must exceed bare standby (refresh adds on top).
+	cfg := DefaultConfig()
+	c := mustChip(t, cfg)
+	standby := units.Power(cfg.Currents.IDD3N * cfg.VDD * float64(units.Milliwatt))
+	if c.Background() <= standby {
+		t.Errorf("background %v does not exceed standby %v (refresh missing)", c.Background(), standby)
+	}
+}
+
+func TestLineAndCapacity(t *testing.T) {
+	c := mustChip(t, DefaultConfig())
+	if c.LineBytes() != 64 {
+		t.Errorf("LineBytes = %d, want 64 (512-bit fair-comparison width)", c.LineBytes())
+	}
+	if c.CapacityBytes() != 512<<20 {
+		t.Errorf("4Gb capacity = %d, want 512MiB", c.CapacityBytes())
+	}
+	if c.Name() == "" {
+		t.Error("empty name")
+	}
+	if c.Config().DataRateMTs != 2133 {
+		t.Error("config not retained")
+	}
+}
+
+func TestWriteCostsAtLeastRead(t *testing.T) {
+	c := mustChip(t, DefaultConfig())
+	if c.Write(true).Energy < c.Read(true).Energy {
+		t.Error("IDD4W>IDD4R implies write energy ≥ read energy")
+	}
+}
+
+func TestDensityRaisesAccessEnergy(t *testing.T) {
+	c4 := mustChip(t, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.DensityGb = 16
+	c16 := mustChip(t, cfg)
+	if c16.Read(true).Energy <= c4.Read(true).Energy {
+		t.Error("denser device should pay more wire energy per access")
+	}
+}

@@ -1,0 +1,63 @@
+package dram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Hand-check the Micron IDD arithmetic at DDR4-2133 defaults: the model
+// must equal the spreadsheet formulas computed independently here.
+func TestIDDArithmeticByHand(t *testing.T) {
+	cfg := DefaultConfig()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tCK := 2.0 / 2133.0 * 1e3 // ns
+	burst := 4 * tCK
+	tRCD := 15 * tCK
+	tRAS := 35 * tCK
+	tRP := tRCD
+	tRC := tRAS + tRP
+
+	// E = I(mA) × V × t(ns) → pJ.
+	eAct := cfg.Currents.IDD0*1.2*tRC - cfg.Currents.IDD3N*1.2*tRAS - cfg.Currents.IDD2N*1.2*tRP
+	eRd := (cfg.Currents.IDD4R - cfg.Currents.IDD3N) * 1.2 * burst
+	linesPerRow := float64(cfg.RowBytes / 64)
+
+	wantSeq := eRd + eAct/linesPerRow
+	if got := c.Read(true).Energy.Picojoules(); math.Abs(got-wantSeq) > 0.01*wantSeq {
+		t.Errorf("seq read energy = %.2f pJ, hand calc %.2f", got, wantSeq)
+	}
+	wantRand := eRd + eAct
+	if got := c.Read(false).Energy.Picojoules(); math.Abs(got-wantRand) > 0.01*wantRand {
+		t.Errorf("rand read energy = %.2f pJ, hand calc %.2f", got, wantRand)
+	}
+	// Random latency = tRCD + tCL + burst.
+	wantLat := (tRCD + tRCD + burst) * 1e3 // ps
+	if got := c.Read(false).Latency.Picoseconds(); math.Abs(got-wantLat) > 1 {
+		t.Errorf("rand read latency = %.0f ps, hand calc %.0f", got, wantLat)
+	}
+	// Background = IDD3N standby + refresh duty share of (IDD5B−IDD3N).
+	refreshDuty := 8192 * 350e-9 / 64e-3
+	wantBg := cfg.Currents.IDD3N*1.2 + (cfg.Currents.IDD5B-cfg.Currents.IDD3N)*1.2*refreshDuty
+	if got := c.Background().Milliwatts(); math.Abs(got-wantBg) > 0.01*wantBg {
+		t.Errorf("background = %.2f mW, hand calc %.2f", got, wantBg)
+	}
+	_ = units.Time(0)
+}
+
+// The activation-energy formula must stay positive for sane datasheets
+// (IDD0 above the weighted standby currents).
+func TestActivationEnergyPositive(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := c.Read(false).Energy - c.Read(true).Energy
+	if act <= 0 {
+		t.Errorf("activation premium %v not positive", act)
+	}
+}

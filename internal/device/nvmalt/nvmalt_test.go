@@ -1,0 +1,100 @@
+package nvmalt
+
+import (
+	"testing"
+
+	"repro/internal/device/rram"
+)
+
+func chip(t *testing.T, k Kind) *Chip {
+	t.Helper()
+	c, err := New(Config{Kind: k, DensityGb: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Kind: PCM, DensityGb: 3}); err == nil {
+		t.Error("bad density accepted")
+	}
+	if _, err := New(Config{Kind: Kind(9), DensityGb: 4}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// §2.3's comparison points against the calibrated ReRAM chip.
+func TestPCMVersusReRAM(t *testing.T) {
+	pcm := chip(t, PCM)
+	rr, err := rram.New(rram.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "lower energy usage for write operations" (ReRAM vs PCM):
+	if rr.Write(true).Energy >= pcm.Write(true).Energy {
+		t.Error("ReRAM write energy should be below PCM's")
+	}
+	if rr.Write(true).Latency >= pcm.Write(true).Latency {
+		t.Error("ReRAM write should be faster than PCM's crystallization")
+	}
+	// "superior endurance (>10¹⁰)":
+	if pcm.Endurance() >= 1e10 {
+		t.Error("PCM endurance should be below ReRAM's 1e10 threshold")
+	}
+	// Drift scrubbing shows up as background ReRAM does not pay.
+	if pcm.Background() <= rr.Background() {
+		t.Error("PCM background (drift scrubbing) should exceed ReRAM's")
+	}
+}
+
+func TestSTTMRAMCharacter(t *testing.T) {
+	stt := chip(t, STTMRAM)
+	pcm := chip(t, PCM)
+	if stt.Write(true).Latency >= pcm.Write(true).Latency {
+		t.Error("STT-MRAM writes should be far faster than PCM's")
+	}
+	if stt.Endurance() <= pcm.Endurance() {
+		t.Error("STT-MRAM endurance should exceed PCM's")
+	}
+	// Density penalty: the same target density yields half the per-chip
+	// capacity.
+	if stt.CapacityBytes() != pcm.CapacityBytes()/2 {
+		t.Errorf("STT capacity %d, want half of PCM's %d", stt.CapacityBytes(), pcm.CapacityBytes())
+	}
+}
+
+func TestMemoryInterfaceBasics(t *testing.T) {
+	for _, k := range []Kind{PCM, STTMRAM} {
+		c := chip(t, k)
+		if c.Name() == "" || c.LineBytes() != 64 {
+			t.Errorf("%v: bad identity", k)
+		}
+		if c.Read(false).Latency <= c.Read(true).Latency {
+			t.Errorf("%v: random read not slower", k)
+		}
+		if c.Write(true).Energy <= c.Read(true).Energy {
+			t.Errorf("%v: write not costlier than read", k)
+		}
+		if c.Background() <= 0 {
+			t.Errorf("%v: no background power", k)
+		}
+	}
+	if PCM.String() != "PCM" || STTMRAM.String() != "STT-MRAM" || Kind(7).String() == "" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestDensityScaling(t *testing.T) {
+	small := chip(t, PCM)
+	big, err := New(Config{Kind: PCM, DensityGb: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.CapacityBytes() != 4*small.CapacityBytes() {
+		t.Error("capacity not scaling with density")
+	}
+	if big.Read(true).Energy <= small.Read(true).Energy {
+		t.Error("denser chip should pay more wire energy")
+	}
+}

@@ -1,0 +1,295 @@
+// Package rram models the ReRAM main-memory chip HyVE uses as edge
+// memory: a DDR-style chip of banks, each bank a grid of crossbar mats
+// (paper Fig. 3), characterized the way the authors characterized it —
+// through NVSim operating points under the 22 nm process with the cell
+// parameters published in §7.1 (0.4 V read / 0.7 V set, 0.16 µW read
+// power, 10 ns set pulse, 0.6 pJ set energy, 100 kΩ/10 MΩ on/off).
+//
+// The bank read operating points are calibrated to the paper's Table 3
+// (energy- vs latency-optimized, 64–512-bit output); writes derive from
+// the set-pulse cell parameters; multi-level cells follow the parallel
+// sensing scheme of Xu et al. (DAC'13), the reference the paper uses for
+// its MLC modification of NVSim.
+package rram
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// OptTarget selects which NVSim optimization objective produced the bank
+// design (Table 3 compares both).
+type OptTarget int
+
+// Optimization targets.
+const (
+	EnergyOptimized OptTarget = iota
+	LatencyOptimized
+)
+
+func (t OptTarget) String() string {
+	switch t {
+	case EnergyOptimized:
+		return "energy-optimized"
+	case LatencyOptimized:
+		return "latency-optimized"
+	default:
+		return fmt.Sprintf("OptTarget(%d)", int(t))
+	}
+}
+
+// CellParams are the ReRAM cell characteristics from §7.1.
+type CellParams struct {
+	ReadVoltage float64     // V
+	SetVoltage  float64     // V
+	ReadPower   units.Power // per-cell read sensing power
+	SetPulse    units.Time  // duration of one set pulse
+	SetEnergy   units.Energy
+	OnRes       float64 // Ω at read voltage
+	OffRes      float64 // Ω at read voltage
+	Bits        int     // bits per cell: 1 (SLC) to 3 (MLC)
+}
+
+// PaperCell returns the published cell operating point with the given
+// bits per cell.
+func PaperCell(bits int) CellParams {
+	return CellParams{
+		ReadVoltage: 0.4,
+		SetVoltage:  0.7,
+		ReadPower:   units.Power(0.16 * float64(units.Microwatt)),
+		SetPulse:    units.Time(10 * float64(units.Nanosecond)),
+		SetEnergy:   units.Energy(0.6 * float64(units.Picojoule)),
+		OnRes:       100e3,
+		OffRes:      10e6,
+		Bits:        bits,
+	}
+}
+
+// OperatingPoint is one row of the paper's Table 3: the NVSim result for
+// a bank with the given output width under the given objective. Energy
+// and Period are per read operation of OutputBits bits (SLC).
+type OperatingPoint struct {
+	Optimize   OptTarget
+	OutputBits int
+	Energy     units.Energy
+	Period     units.Time
+}
+
+// PowerPerBit returns mW/bit, the figure of merit Table 3 reports
+// (energy ÷ period ÷ bits).
+func (op OperatingPoint) PowerPerBit() units.Power {
+	return units.Power(float64(op.Energy) / float64(op.Period) * 1e3 / float64(op.OutputBits))
+}
+
+// Table3 is the paper's published NVSim calibration set.
+var Table3 = []OperatingPoint{
+	{EnergyOptimized, 64, units.Energy(20.13), units.Time(1221)},
+	{EnergyOptimized, 128, units.Energy(33.87), units.Time(1983)},
+	{EnergyOptimized, 256, units.Energy(57.31), units.Time(1983)},
+	{EnergyOptimized, 512, units.Energy(102.07), units.Time(1983)},
+	{LatencyOptimized, 64, units.Energy(381.47), units.Time(653)},
+	{LatencyOptimized, 128, units.Energy(378.57), units.Time(590)},
+	{LatencyOptimized, 256, units.Energy(382.37), units.Time(590)},
+	{LatencyOptimized, 512, units.Energy(660.23), units.Time(527)},
+}
+
+func lookupPoint(t OptTarget, outputBits int) (OperatingPoint, bool) {
+	for _, op := range Table3 {
+		if op.Optimize == t && op.OutputBits == outputBits {
+			return op, true
+		}
+	}
+	return OperatingPoint{}, false
+}
+
+// Config selects a chip design point.
+type Config struct {
+	// DensityGb is the chip density in gigabits: 4, 8, or 16 (Fig. 9/10).
+	DensityGb int
+	// Banks per chip; the paper's baseline organization mirrors
+	// commodity DRAM (8 banks).
+	Banks int
+	// OutputBits is the bank output width: 64, 128, 256, or 512.
+	OutputBits int
+	// Optimize selects the NVSim objective.
+	Optimize OptTarget
+	// Cell is the cell design; PaperCell(1) is the paper's final choice
+	// (§7.2.1: "SLC ReRAM is adopted in later evaluations").
+	Cell CellParams
+}
+
+// DefaultConfig is the design the paper converges on: 4 Gb chip, 8 banks,
+// 512-bit energy-optimized output, SLC cells.
+func DefaultConfig() Config {
+	return Config{DensityGb: 4, Banks: 8, OutputBits: 512, Optimize: EnergyOptimized, Cell: PaperCell(1)}
+}
+
+// Chip is a configured ReRAM memory chip. It implements device.Memory.
+type Chip struct {
+	cfg   Config
+	point OperatingPoint
+
+	readSeq, readRand   device.Cost
+	writeSeq, writeRand device.Cost
+	bankLeak            units.Power
+	ioLeak              units.Power
+}
+
+// Random-access overheads on top of the streaming operating point: a
+// random read re-drives the global decode path (address register, global
+// wordline decoder, block/mat selectors of Fig. 3) instead of continuing
+// within an open mat row.
+const (
+	randLatencyFactor = 3.0
+	randEnergyFactor  = 1.3
+	// End-to-end array read latency (sensing a high-resistance cell
+	// through the full decode path). Matches the ReRAM read latency
+	// GraphR publishes (29.31 ns), which the paper reuses in §7.4.3.
+	arrayReadLatencyNs = 29.31
+)
+
+// MLC multipliers per Xu et al. (DAC'13): an n-bit cell exposes 2ⁿ−1
+// resistance boundaries; parallel sensing replicates reference sense
+// amps (energy up, latency roughly flat), and program-and-verify write
+// loops multiply both write energy and latency.
+func mlcReadEnergyFactor(bits int) float64 {
+	switch bits {
+	case 2:
+		return 1.55
+	case 3:
+		return 2.40
+	default:
+		return 1
+	}
+}
+
+func mlcWriteFactor(bits int) (energy, latency float64) {
+	switch bits {
+	case 2:
+		return 2.6, 1.7
+	case 3:
+		return 5.2, 2.9
+	default:
+		return 1, 1
+	}
+}
+
+// densityScale grows peripheral wire energy/latency gently with density:
+// doubling capacity lengthens global H-tree wiring by ~√2 per dimension.
+func densityScale(densityGb int) float64 {
+	switch densityGb {
+	case 4:
+		return 1
+	case 8:
+		return 1.19 // 2^0.25
+	case 16:
+		return 1.41 // 2^0.5
+	default:
+		return 1
+	}
+}
+
+// New validates cfg and derives the chip's per-access costs.
+func New(cfg Config) (*Chip, error) {
+	if cfg.Banks <= 0 {
+		return nil, fmt.Errorf("rram: non-positive bank count %d", cfg.Banks)
+	}
+	switch cfg.DensityGb {
+	case 4, 8, 16:
+	default:
+		return nil, fmt.Errorf("rram: unsupported density %d Gb (want 4, 8, or 16)", cfg.DensityGb)
+	}
+	if cfg.Cell.Bits < 1 || cfg.Cell.Bits > 3 {
+		return nil, fmt.Errorf("rram: unsupported cell bits %d (want 1–3)", cfg.Cell.Bits)
+	}
+	point, ok := lookupPoint(cfg.Optimize, cfg.OutputBits)
+	if !ok {
+		return nil, fmt.Errorf("rram: no NVSim operating point for %v/%d-bit output", cfg.Optimize, cfg.OutputBits)
+	}
+	c := &Chip{cfg: cfg, point: point}
+	ds := densityScale(cfg.DensityGb)
+
+	// Reads: streaming issues one OutputBits line per bank period; the
+	// fill latency of a random access is the full array read path.
+	readEnergy := point.Energy.Times(ds * mlcReadEnergyFactor(cfg.Cell.Bits))
+	c.readSeq = device.Cost{Latency: point.Period.Times(ds), Energy: readEnergy}
+	c.readRand = device.Cost{
+		Latency: units.MaxTime(point.Period.Times(ds*randLatencyFactor), units.Time(arrayReadLatencyNs*float64(units.Nanosecond))),
+		Energy:  readEnergy.Times(randEnergyFactor),
+	}
+
+	// Writes: every cell in the line pays the set energy; the line write
+	// is limited by the set pulse. Peripheral (decode + drivers) costs
+	// mirror the read peripheral share.
+	wEnergyF, wLatencyF := mlcWriteFactor(cfg.Cell.Bits)
+	cells := float64(cfg.OutputBits) / float64(cfg.Cell.Bits)
+	cellWrite := cfg.Cell.SetEnergy.Times(cells * wEnergyF)
+	peripheral := point.Energy.Times(0.8 * ds) // drive/decode share of a read op
+	writeLatency := units.Time(float64(cfg.Cell.SetPulse)*wLatencyF*ds) + point.Period.Times(ds)
+	c.writeSeq = device.Cost{Latency: writeLatency, Energy: cellWrite + peripheral}
+	c.writeRand = device.Cost{
+		Latency: writeLatency + point.Period.Times(ds*(randLatencyFactor-1)),
+		Energy:  (cellWrite + peripheral).Times(randEnergyFactor),
+	}
+
+	// Leakage: non-volatile cells leak nothing; what remains is the
+	// CMOS periphery per bank plus shared I/O. These are the quantities
+	// the bank-level power-gating scheme (§4.1) eliminates.
+	c.bankLeak = units.Power(2.0 * float64(units.Milliwatt) * ds)
+	c.ioLeak = units.Power(4 * float64(units.Milliwatt) * ds)
+	return c, nil
+}
+
+// Name implements device.Memory.
+func (c *Chip) Name() string {
+	return fmt.Sprintf("ReRAM-%dGb-%db-%s-%dbit", c.cfg.DensityGb, c.cfg.OutputBits, c.cfg.Optimize, c.cfg.Cell.Bits)
+}
+
+// LineBytes implements device.Memory.
+func (c *Chip) LineBytes() int { return c.cfg.OutputBits / 8 }
+
+// CapacityBytes implements device.Memory.
+func (c *Chip) CapacityBytes() int64 { return int64(c.cfg.DensityGb) << 30 / 8 }
+
+// Read implements device.Memory.
+func (c *Chip) Read(sequential bool) device.Cost {
+	if sequential {
+		return c.readSeq
+	}
+	return c.readRand
+}
+
+// Write implements device.Memory.
+func (c *Chip) Write(sequential bool) device.Cost {
+	if sequential {
+		return c.writeSeq
+	}
+	return c.writeRand
+}
+
+// Background implements device.Memory: all banks plus I/O awake
+// (the no-power-gating baseline).
+func (c *Chip) Background() units.Power {
+	return units.Power(float64(c.bankLeak)*float64(c.cfg.Banks)) + c.ioLeak
+}
+
+// NumBanks returns the banks per chip.
+func (c *Chip) NumBanks() int { return c.cfg.Banks }
+
+// BankLeakage returns the background power of one awake bank; the BPG
+// controller integrates this only over awake windows.
+func (c *Chip) BankLeakage() units.Power { return c.bankLeak }
+
+// IOLeakage returns the always-on shared I/O power (not gateable: the
+// chip interface must answer the controller).
+func (c *Chip) IOLeakage() units.Power { return c.ioLeak }
+
+// Config returns the chip's configuration.
+func (c *Chip) Config() Config { return c.cfg }
+
+// Point returns the calibrated NVSim operating point in use.
+func (c *Chip) Point() OperatingPoint { return c.point }
+
+var _ device.Memory = (*Chip)(nil)

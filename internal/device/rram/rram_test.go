@@ -1,0 +1,205 @@
+package rram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func mustChip(t *testing.T, cfg Config) *Chip {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return c
+}
+
+// The 4 Gb SLC chip must reproduce the paper's Table 3 operating points
+// exactly: those numbers are the calibration contract with NVSim.
+func TestTable3Reproduction(t *testing.T) {
+	for _, op := range Table3 {
+		cfg := DefaultConfig()
+		cfg.Optimize = op.Optimize
+		cfg.OutputBits = op.OutputBits
+		c := mustChip(t, cfg)
+		rd := c.Read(true)
+		if rd.Energy != op.Energy {
+			t.Errorf("%v/%db: read energy %v, want %v", op.Optimize, op.OutputBits, rd.Energy, op.Energy)
+		}
+		if rd.Latency != op.Period {
+			t.Errorf("%v/%db: read period %v, want %v", op.Optimize, op.OutputBits, rd.Latency, op.Period)
+		}
+	}
+}
+
+// Table 3's published power-per-bit column: the energy-optimized 512-bit
+// configuration is the chosen design at ~0.10 mW/bit.
+func TestPowerPerBitMatchesPaper(t *testing.T) {
+	want := map[[2]int]float64{ // {optimize, bits} → mW/bit
+		{0, 64}: 0.26, {0, 128}: 0.13, {0, 256}: 0.11, {0, 512}: 0.10,
+		{1, 64}: 9.13, {1, 128}: 5.01, {1, 256}: 2.53, {1, 512}: 2.45,
+	}
+	for _, op := range Table3 {
+		w := want[[2]int{int(op.Optimize), op.OutputBits}]
+		got := op.PowerPerBit().Milliwatts()
+		if math.Abs(got-w) > 0.25*w {
+			t.Errorf("%v/%db: power/bit = %.3f mW, paper says %.2f", op.Optimize, op.OutputBits, got, w)
+		}
+	}
+	// And the minimum across all rows is the energy-optimized 512-bit point.
+	best := Table3[0]
+	for _, op := range Table3 {
+		if op.PowerPerBit() < best.PowerPerBit() {
+			best = op
+		}
+	}
+	if best.Optimize != EnergyOptimized || best.OutputBits != 512 {
+		t.Errorf("best power/bit point = %v/%db, paper chooses energy-optimized/512", best.Optimize, best.OutputBits)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{DensityGb: 5, Banks: 8, OutputBits: 512, Cell: PaperCell(1)},
+		{DensityGb: 4, Banks: 0, OutputBits: 512, Cell: PaperCell(1)},
+		{DensityGb: 4, Banks: 8, OutputBits: 100, Cell: PaperCell(1)},
+		{DensityGb: 4, Banks: 8, OutputBits: 512, Cell: PaperCell(0)},
+		{DensityGb: 4, Banks: 8, OutputBits: 512, Cell: PaperCell(4)},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// Writes must be much slower than reads (the paper's central premise:
+// "similar read delay but much higher write delay").
+func TestWriteMuchSlowerThanRead(t *testing.T) {
+	c := mustChip(t, DefaultConfig())
+	rd, wr := c.Read(true), c.Write(true)
+	if wr.Latency < rd.Latency.Times(4) {
+		t.Errorf("write latency %v not ≫ read latency %v", wr.Latency, rd.Latency)
+	}
+	if wr.Energy <= rd.Energy {
+		t.Errorf("write energy %v not above read energy %v", wr.Energy, rd.Energy)
+	}
+	// Set pulse dominates write latency.
+	if wr.Latency < units.Time(10*float64(units.Nanosecond)) {
+		t.Errorf("write latency %v below the 10ns set pulse", wr.Latency)
+	}
+}
+
+func TestRandomCostsExceedSequential(t *testing.T) {
+	c := mustChip(t, DefaultConfig())
+	if c.Read(false).Latency <= c.Read(true).Latency {
+		t.Error("random read not slower than sequential")
+	}
+	if c.Read(false).Energy <= c.Read(true).Energy {
+		t.Error("random read not costlier than sequential")
+	}
+	if c.Write(false).Latency <= c.Write(true).Latency {
+		t.Error("random write not slower than sequential")
+	}
+}
+
+// Fig. 13: SLC beats MLC on energy per read despite lower density.
+func TestMLCReadEnergyOrdering(t *testing.T) {
+	var prev units.Energy
+	for bits := 1; bits <= 3; bits++ {
+		cfg := DefaultConfig()
+		cfg.Cell = PaperCell(bits)
+		c := mustChip(t, cfg)
+		e := c.Read(true).Energy
+		if bits > 1 && e <= prev {
+			t.Errorf("%d-bit cell read energy %v not above %d-bit %v", bits, e, bits-1, prev)
+		}
+		prev = e
+	}
+}
+
+func TestMLCWriteCostOrdering(t *testing.T) {
+	var prevE units.Energy
+	var prevT units.Time
+	for bits := 1; bits <= 3; bits++ {
+		cfg := DefaultConfig()
+		cfg.Cell = PaperCell(bits)
+		c := mustChip(t, cfg)
+		w := c.Write(true)
+		if bits > 1 && (w.Energy <= prevE || w.Latency <= prevT) {
+			t.Errorf("%d-bit write cost %v not above %d-bit (%v,%v)", bits, w, bits-1, prevT, prevE)
+		}
+		prevE, prevT = w.Energy, w.Latency
+	}
+}
+
+func TestDensityScaling(t *testing.T) {
+	var prevBg units.Power
+	var prevCap int64
+	for _, d := range []int{4, 8, 16} {
+		cfg := DefaultConfig()
+		cfg.DensityGb = d
+		c := mustChip(t, cfg)
+		if c.CapacityBytes() <= prevCap {
+			t.Errorf("%dGb capacity %d not above previous %d", d, c.CapacityBytes(), prevCap)
+		}
+		if c.Background() <= prevBg {
+			t.Errorf("%dGb background %v not above previous %v", d, c.Background(), prevBg)
+		}
+		prevBg, prevCap = c.Background(), c.CapacityBytes()
+	}
+	c := mustChip(t, DefaultConfig())
+	if got := c.CapacityBytes(); got != 512<<20 {
+		t.Errorf("4Gb capacity = %d bytes, want 512MiB", got)
+	}
+}
+
+func TestBackgroundDecomposition(t *testing.T) {
+	c := mustChip(t, DefaultConfig())
+	want := units.Power(float64(c.BankLeakage())*float64(c.NumBanks())) + c.IOLeakage()
+	if math.Abs(float64(c.Background()-want)) > 1e-9 {
+		t.Errorf("Background %v != banks×leak + IO %v", c.Background(), want)
+	}
+	if c.NumBanks() != 8 {
+		t.Errorf("NumBanks = %d, want 8", c.NumBanks())
+	}
+}
+
+func TestLineBytesMatchesOutputWidth(t *testing.T) {
+	for _, bits := range []int{64, 128, 256, 512} {
+		cfg := DefaultConfig()
+		cfg.OutputBits = bits
+		c := mustChip(t, cfg)
+		if got := c.LineBytes(); got != bits/8 {
+			t.Errorf("LineBytes(%db) = %d, want %d", bits, got, bits/8)
+		}
+	}
+}
+
+func TestPaperCellConstants(t *testing.T) {
+	cell := PaperCell(1)
+	if cell.ReadVoltage != 0.4 || cell.SetVoltage != 0.7 {
+		t.Error("cell voltages drifted from §7.1")
+	}
+	if cell.SetPulse != units.Time(10*float64(units.Nanosecond)) {
+		t.Error("set pulse drifted from 10ns")
+	}
+	if cell.SetEnergy != units.Energy(0.6) {
+		t.Error("set energy drifted from 0.6pJ")
+	}
+	if cell.OnRes != 100e3 || cell.OffRes != 10e6 {
+		t.Error("cell resistances drifted")
+	}
+}
+
+func TestNameIsDescriptive(t *testing.T) {
+	c := mustChip(t, DefaultConfig())
+	if c.Name() == "" || c.Config().DensityGb != 4 {
+		t.Error("chip identity lost")
+	}
+	if c.Point().OutputBits != 512 {
+		t.Error("operating point not retained")
+	}
+}

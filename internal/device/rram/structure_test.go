@@ -1,0 +1,202 @@
+package rram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func derive(t *testing.T, b BankDesign) DerivedPoint {
+	t.Helper()
+	dp, err := DerivePoint(Process22nm(), b, PaperCell(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func within(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", what)
+	}
+	if rel := math.Abs(got-want) / want; rel > tol {
+		t.Errorf("%s = %.2f, want %.2f (off by %.0f%%, tolerance %.0f%%)",
+			what, got, want, 100*rel, 100*tol)
+	}
+}
+
+// The structural model must rederive every Table 3 operating point from
+// circuit equations: energies within 12%, periods within 20%. This is
+// the validation of the calibration contract (the chip model consumes
+// the published points; the structure explains them).
+func TestDerivePointMatchesTable3(t *testing.T) {
+	for _, op := range Table3 {
+		b, err := Table3Design(op.Optimize, op.OutputBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.OutputBits(); got != op.OutputBits {
+			t.Fatalf("%v/%db: design outputs %d bits", op.Optimize, op.OutputBits, got)
+		}
+		dp := derive(t, b)
+		within(t, op.Optimize.String()+" energy", dp.ReadEnergy.Picojoules(), op.Energy.Picojoules(), 0.12)
+		within(t, op.Optimize.String()+" period", dp.CyclePeriod.Picoseconds(), op.Period.Picoseconds(), 0.20)
+	}
+}
+
+// The over-fetch explanation of the latency-optimized family: 64–256-bit
+// outputs sense the same 256 bits, so their energies are nearly flat.
+func TestLatencyOptimizedOverFetchIsFlat(t *testing.T) {
+	var energies []float64
+	for _, bits := range []int{64, 128, 256} {
+		b, err := Table3Design(LatencyOptimized, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.SensedBits() != 256 {
+			t.Fatalf("%d-bit design senses %d bits, want 256", bits, b.SensedBits())
+		}
+		energies = append(energies, derive(t, b).ReadEnergy.Picojoules())
+	}
+	if spread := (energies[2] - energies[0]) / energies[0]; spread > 0.05 {
+		t.Errorf("over-fetched energies not flat: %v (spread %.1f%%)", energies, 100*spread)
+	}
+}
+
+// Latency-optimized designs must be faster but leak more than
+// energy-optimized ones — the reason Table 3's chosen design is the
+// energy-optimized 512-bit point.
+func TestDesignStyleTradeoffs(t *testing.T) {
+	eo, err := Table3Design(EnergyOptimized, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Table3Design(LatencyOptimized, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpE, dpL := derive(t, eo), derive(t, lo)
+	if dpL.CyclePeriod >= dpE.CyclePeriod {
+		t.Error("latency-optimized not faster")
+	}
+	if dpL.ReadEnergy <= dpE.ReadEnergy {
+		t.Error("latency-optimized not more energy per read")
+	}
+	if dpL.Leakage <= dpE.Leakage {
+		t.Error("latency-optimized (more periphery) not leakier")
+	}
+}
+
+// §4.1: one power gate per bank has a low area penalty.
+func TestGateOverheadIsSmall(t *testing.T) {
+	b, err := Table3Design(EnergyOptimized, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := GateOverhead(Process22nm(), b, PaperCell(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Fraction <= 0 || ov.Fraction > 0.02 {
+		t.Errorf("gate area overhead %.3f%% outside (0, 2%%]", 100*ov.Fraction)
+	}
+	if ov.GateAreaMM2 <= 0 || ov.BankAreaMM2 <= 0 {
+		t.Error("degenerate areas")
+	}
+}
+
+// §3.1: widening the per-bank output port by N× costs <1%.
+func TestWiringOverheadUnderOnePercent(t *testing.T) {
+	b, err := Table3Design(EnergyOptimized, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := WiringOverhead(Process22nm(), b, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac <= 0 || frac >= 0.01 {
+		t.Errorf("wiring overhead %.3f%% outside (0, 1%%)", 100*frac)
+	}
+	if _, err := WiringOverhead(Process22nm(), b, -1); err == nil {
+		t.Error("negative extra bits accepted")
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	bad := []BankDesign{
+		{Mat: MatDesign{Rows: 0, Cols: 8, SensedBits: 4}, MatRows: 1, MatCols: 1, ActiveMats: 1},
+		{Mat: MatDesign{Rows: 8, Cols: 8, SensedBits: 0}, MatRows: 1, MatCols: 1, ActiveMats: 1},
+		{Mat: MatDesign{Rows: 8, Cols: 8, SensedBits: 16}, MatRows: 1, MatCols: 1, ActiveMats: 1},
+		{Mat: MatDesign{Rows: 8, Cols: 8, SensedBits: 4}, MatRows: 0, MatCols: 1, ActiveMats: 1},
+		{Mat: MatDesign{Rows: 8, Cols: 8, SensedBits: 4}, MatRows: 1, MatCols: 1, ActiveMats: 2},
+		{Mat: MatDesign{Rows: 8, Cols: 8, SensedBits: 4}, MatRows: 1, MatCols: 1, ActiveMats: 1, Output: -1},
+	}
+	for i, b := range bad {
+		if _, err := DerivePoint(Process22nm(), b, PaperCell(1)); err == nil {
+			t.Errorf("bad design %d accepted: %+v", i, b)
+		}
+	}
+	if _, err := Table3Design(EnergyOptimized, 100); err == nil {
+		t.Error("unsupported width accepted")
+	}
+}
+
+func TestOutputBitsOverFetchSemantics(t *testing.T) {
+	b := BankDesign{
+		Mat:     MatDesign{Rows: 8, Cols: 512, SensedBits: 256},
+		MatRows: 2, MatCols: 2, ActiveMats: 1, Output: 64,
+	}
+	if b.SensedBits() != 256 || b.OutputBits() != 64 {
+		t.Errorf("over-fetch semantics wrong: sensed %d out %d", b.SensedBits(), b.OutputBits())
+	}
+	b.Output = 0
+	if b.OutputBits() != 256 {
+		t.Errorf("zero Output should pass everything sensed: %d", b.OutputBits())
+	}
+	b.Output = 1024 // wider than sensed: clamp to sensed
+	if b.OutputBits() != 256 {
+		t.Errorf("oversized Output should clamp: %d", b.OutputBits())
+	}
+}
+
+// Structural monotonicity: wider outputs cost more energy; bigger mats
+// (longer bitlines) develop more slowly.
+func TestStructuralMonotonicity(t *testing.T) {
+	var prev units.Energy
+	for _, bits := range []int{64, 128, 256, 512} {
+		b, err := Table3Design(EnergyOptimized, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp := derive(t, b)
+		if dp.ReadEnergy <= prev {
+			t.Errorf("%d-bit energy %v not above previous %v", bits, dp.ReadEnergy, prev)
+		}
+		prev = dp.ReadEnergy
+	}
+	small := BankDesign{Mat: MatDesign{Rows: 128, Cols: 512, SensedBits: 64}, MatRows: 4, MatCols: 4, ActiveMats: 1}
+	big := BankDesign{Mat: MatDesign{Rows: 2048, Cols: 512, SensedBits: 64}, MatRows: 4, MatCols: 4, ActiveMats: 1}
+	if derive(t, small).CyclePeriod >= derive(t, big).CyclePeriod {
+		t.Error("longer bitlines should develop more slowly")
+	}
+}
+
+func TestCapacityAndArea(t *testing.T) {
+	b, err := Table3Design(EnergyOptimized, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CapacityBits(); got != int64(1024)*1024*64 {
+		t.Errorf("capacity = %d bits", got)
+	}
+	dp := derive(t, b)
+	if dp.AreaMM2 <= 0 || dp.AreaMM2 > 10 {
+		t.Errorf("bank area %.2f mm² implausible", dp.AreaMM2)
+	}
+	if dp.Leakage <= 0 {
+		t.Error("non-positive leakage")
+	}
+}

@@ -1,0 +1,147 @@
+// Package sram models the on-chip vertex memories of HyVE (CACTI-6.5-
+// style SRAM under 22 nm, per §7.1) and the register files GraphR uses
+// for its local vertex buffers. The models are anchored to the operating
+// points the paper quotes verbatim:
+//
+//	2 MB SRAM: 960.03 ps / 23.84 pJ per 32-bit read,
+//	           557.089 ps / 24.74 pJ per 32-bit write,
+//	           1.071 ns operating cycle (1.808 ns at 4 MB);
+//	register file: 11.976 ps / 1.227 pJ read, 10.563 ps / 1.209 pJ write.
+//
+// Other capacities scale with the wire-dominated exponents implied by the
+// paper's own 2 MB → 4 MB cycle-time pair.
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// Anchor capacity for the calibrated operating point.
+const anchorBytes = 2 << 20
+
+// Calibrated 2 MB operating point (32-bit access).
+const (
+	anchorReadPs   = 960.03
+	anchorReadPJ   = 23.84
+	anchorWritePs  = 557.089
+	anchorWritePJ  = 24.74
+	anchorCyclePs  = 1071.0
+	cycle4MBPs     = 1808.0
+	anchorLeakMWMB = 6.0 // leakage per MB; CACTI-scale 22 nm low-standby SRAM
+)
+
+// latencyExp is derived from the paper's own pair of cycle times:
+// 1.071 ns @ 2 MB → 1.808 ns @ 4 MB ⇒ exponent log2(1.808/1.071) ≈ 0.755.
+var latencyExp = math.Log2(cycle4MBPs / anchorCyclePs)
+
+// energyExp: access energy in large SRAMs is wire-dominated and grows
+// roughly with the square root of capacity.
+const energyExp = 0.5
+
+// SRAM is an on-chip scratchpad of the given capacity with 32-bit access
+// granularity. It implements device.Memory; sequential and random
+// accesses cost the same (scratchpads have no row-buffer state), which is
+// what lets the PUs "issue consecutive read/write requests to SRAM
+// without waiting for extra clock cycles" (§3.2).
+type SRAM struct {
+	capacity int64
+	read     device.Cost
+	write    device.Cost
+	cycle    units.Time
+	leak     units.Power
+}
+
+// New builds an SRAM of the given capacity in bytes.
+func New(capacityBytes int64) (*SRAM, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("sram: non-positive capacity %d", capacityBytes)
+	}
+	ratio := float64(capacityBytes) / float64(anchorBytes)
+	latScale := math.Pow(ratio, latencyExp)
+	enScale := math.Pow(ratio, energyExp)
+	return &SRAM{
+		capacity: capacityBytes,
+		read: device.Cost{
+			Latency: units.Time(anchorReadPs * latScale),
+			Energy:  units.Energy(anchorReadPJ * enScale),
+		},
+		write: device.Cost{
+			Latency: units.Time(anchorWritePs * latScale),
+			Energy:  units.Energy(anchorWritePJ * enScale),
+		},
+		cycle: units.Time(anchorCyclePs * latScale),
+		leak:  units.Power(anchorLeakMWMB * float64(capacityBytes) / (1 << 20) * float64(units.Milliwatt)),
+	}, nil
+}
+
+// Name implements device.Memory.
+func (s *SRAM) Name() string { return fmt.Sprintf("SRAM-%dKB", s.capacity>>10) }
+
+// LineBytes implements device.Memory: 32-bit word access.
+func (s *SRAM) LineBytes() int { return 4 }
+
+// CapacityBytes implements device.Memory.
+func (s *SRAM) CapacityBytes() int64 { return s.capacity }
+
+// Read implements device.Memory.
+func (s *SRAM) Read(bool) device.Cost { return s.read }
+
+// Write implements device.Memory.
+func (s *SRAM) Write(bool) device.Cost { return s.write }
+
+// Background implements device.Memory: SRAM leakage, which is what makes
+// over-provisioned on-chip memory lose in Table 4.
+func (s *SRAM) Background() units.Power { return s.leak }
+
+// Cycle returns the operating clock period (used for the router transfer
+// pipeline in §4.2).
+func (s *SRAM) Cycle() units.Time { return s.cycle }
+
+var _ device.Memory = (*SRAM)(nil)
+
+// RegisterFile is GraphR's local vertex buffer: tiny, very fast, very
+// low energy per access — but so small that graphs must be cut into many
+// more partitions, which is the paper's Fig. 11 argument.
+type RegisterFile struct {
+	capacity int64
+}
+
+// NewRegisterFile builds a register file of the given capacity.
+func NewRegisterFile(capacityBytes int64) (*RegisterFile, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("sram: non-positive register file capacity %d", capacityBytes)
+	}
+	return &RegisterFile{capacity: capacityBytes}, nil
+}
+
+// Name implements device.Memory.
+func (r *RegisterFile) Name() string { return fmt.Sprintf("RegFile-%dB", r.capacity) }
+
+// LineBytes implements device.Memory.
+func (r *RegisterFile) LineBytes() int { return 4 }
+
+// CapacityBytes implements device.Memory.
+func (r *RegisterFile) CapacityBytes() int64 { return r.capacity }
+
+// Read implements device.Memory (paper: 11.976 ps, 1.227 pJ per 32 bits).
+func (r *RegisterFile) Read(bool) device.Cost {
+	return device.Cost{Latency: units.Time(11.976), Energy: units.Energy(1.227)}
+}
+
+// Write implements device.Memory (paper: 10.563 ps, 1.209 pJ per 32 bits).
+func (r *RegisterFile) Write(bool) device.Cost {
+	return device.Cost{Latency: units.Time(10.563), Energy: units.Energy(1.209)}
+}
+
+// Background implements device.Memory.
+func (r *RegisterFile) Background() units.Power {
+	// Flip-flop arrays leak roughly in proportion to bit count; tiny at
+	// GraphR's 8-vertex buffers.
+	return units.Power(0.05 * float64(r.capacity) / 1024 * float64(units.Milliwatt))
+}
+
+var _ device.Memory = (*RegisterFile)(nil)

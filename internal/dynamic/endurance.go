@@ -1,0 +1,121 @@
+package dynamic
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Endurance analysis: §2.3 justifies ReRAM over PCM partly by endurance
+// (">10¹⁰" write cycles). The static workflow writes each edge once, but
+// the §5 dynamic workflow keeps writing the edge memory — so the
+// question "does the hottest block wear out?" is answerable from the
+// same per-block write counts the store already implies. This file
+// derives them and turns an update rate into a lifetime estimate.
+
+// WearProfile summarizes the write pressure a request stream put on the
+// interval-block layout.
+type WearProfile struct {
+	// TotalWrites counts edge-memory cell-line writes (adds, and the
+	// two writes of a relocate-on-delete).
+	TotalWrites int64
+	// HottestBlock and HottestWrites identify the most-written block.
+	HottestBlock  int
+	HottestWrites int64
+	// Blocks is the block count (P²).
+	Blocks int
+}
+
+// MaxSkew is the hottest block's share relative to a uniform spread.
+func (w WearProfile) MaxSkew() float64 {
+	if w.TotalWrites == 0 || w.Blocks == 0 {
+		return 0
+	}
+	uniform := float64(w.TotalWrites) / float64(w.Blocks)
+	return float64(w.HottestWrites) / uniform
+}
+
+// Wear replays a request stream against a fresh copy of the layout and
+// returns the per-block write profile. The store itself is not mutated.
+func Wear(g *graph.Graph, s *HyVEStore, reqs []Request) (WearProfile, error) {
+	// Count writes per block by replaying the edge operations through
+	// the same placement function.
+	writes := make([]int64, len(s.blocks))
+	shadow, err := NewHyVEStore(g, s.asg, s.slack)
+	if err != nil {
+		return WearProfile{}, err
+	}
+	var prof WearProfile
+	prof.Blocks = len(s.blocks)
+	for _, r := range reqs {
+		switch r.Kind {
+		case AddEdge:
+			b, err := shadow.blockOf(r.Edge)
+			if err != nil {
+				return WearProfile{}, err
+			}
+			if _, err := shadow.AddEdge(r.Edge); err != nil {
+				return WearProfile{}, err
+			}
+			writes[b]++ // the appended edge
+			prof.TotalWrites++
+		case DeleteEdge:
+			moved := shadow.MovedLastEdge
+			b, err := shadow.blockOf(r.Edge)
+			if err != nil {
+				return WearProfile{}, err
+			}
+			n, err := shadow.DeleteEdge(r.Edge)
+			if err != nil {
+				return WearProfile{}, err
+			}
+			if n == 0 {
+				continue
+			}
+			writes[b]++ // header/compaction write
+			prof.TotalWrites++
+			if shadow.MovedLastEdge > moved {
+				writes[b]++ // the relocated last edge
+				prof.TotalWrites++
+			}
+		default:
+			if _, err := Apply(shadow, r); err != nil {
+				return WearProfile{}, err
+			}
+		}
+	}
+	for b, n := range writes {
+		if n > prof.HottestWrites {
+			prof.HottestWrites = n
+			prof.HottestBlock = b
+		}
+	}
+	return prof, nil
+}
+
+// Lifetime estimates how long the hottest block survives a sustained
+// update rate, given the cell endurance and the block's slot count
+// (writes spread over a block's slots by the append/compact discipline —
+// natural wear-leveling within the block).
+func (w WearProfile) Lifetime(requestsPerSecond float64, requestCount int, cellEndurance float64, slotsPerBlock int) (time.Duration, error) {
+	if requestsPerSecond <= 0 || requestCount <= 0 {
+		return 0, fmt.Errorf("dynamic: non-positive request rate/count")
+	}
+	if cellEndurance <= 0 || slotsPerBlock <= 0 {
+		return 0, fmt.Errorf("dynamic: non-positive endurance/slots")
+	}
+	// Writes per second landing on the hottest block.
+	hotRate := float64(w.HottestWrites) / float64(requestCount) * requestsPerSecond
+	if hotRate == 0 {
+		return time.Duration(1<<63 - 1), nil
+	}
+	// Each slot absorbs cellEndurance writes; the block absorbs
+	// endurance × slots before its first cell dies (round-robin append).
+	seconds := cellEndurance * float64(slotsPerBlock) / hotRate
+	const maxSec = float64(1<<62) / float64(time.Second)
+	if seconds > maxSec {
+		seconds = maxSec
+	}
+	return time.Duration(seconds * float64(time.Second)), nil
+}

@@ -1,0 +1,103 @@
+package dynamic
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/partition"
+)
+
+func TestWearProfile(t *testing.T) {
+	g := testGraph(t)
+	asg, err := partition.NewHashed(g.NumVertices, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewHyVEStore(g, asg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := GenerateRequests(g, 5000, PaperMix, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Wear(g, s, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalWrites <= 0 {
+		t.Fatal("no writes recorded")
+	}
+	if prof.HottestWrites <= 0 || prof.HottestBlock < 0 || prof.HottestBlock >= prof.Blocks {
+		t.Fatalf("hottest block bogus: %+v", prof)
+	}
+	// R-MAT skew: the hottest block must be hotter than uniform.
+	if prof.MaxSkew() <= 1 {
+		t.Errorf("max skew %.2f not above uniform", prof.MaxSkew())
+	}
+	// The original store must be untouched by the shadow replay.
+	if s.NumEdges() != int64(g.NumEdges()) {
+		t.Error("Wear mutated the original store")
+	}
+}
+
+// At ReRAM endurance (1e10) and the paper's ~42 M updates/s, even the
+// hottest block of a skewed stream lasts years; at PCM endurance (1e9)
+// it is 10x shorter but still long — the §2.3 margin quantified.
+func TestLifetimeEstimates(t *testing.T) {
+	g := testGraph(t)
+	asg, _ := partition.NewHashed(g.NumVertices, 8)
+	s, err := NewHyVEStore(g, asg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := GenerateRequests(g, 5000, PaperMix, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Wear(g, s, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const updatesPerSec = 42.43e6   // the paper's single-thread throughput
+	slots := g.NumEdges() / (8 * 8) // average block size
+	reram, err := prof.Lifetime(updatesPerSec, len(reqs), 1e10, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcm, err := prof.Lifetime(updatesPerSec, len(reqs), 1e9, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reram < 24*time.Hour {
+		t.Errorf("ReRAM hottest-block lifetime %v implausibly short", reram)
+	}
+	ratio := float64(reram) / float64(pcm)
+	if ratio < 9.9 || ratio > 10.1 {
+		t.Errorf("endurance ratio %v, want 10x", ratio)
+	}
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	var w WearProfile
+	if _, err := w.Lifetime(0, 10, 1e10, 10); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := w.Lifetime(10, 0, 1e10, 10); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := w.Lifetime(10, 10, 0, 10); err == nil {
+		t.Error("zero endurance accepted")
+	}
+	if _, err := w.Lifetime(10, 10, 1e10, 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	// No writes → effectively infinite lifetime.
+	d, err := w.Lifetime(10, 10, 1e10, 10)
+	if err != nil || d < time.Duration(1<<62) {
+		t.Errorf("zero-write lifetime = %v, %v", d, err)
+	}
+	if w.MaxSkew() != 0 {
+		t.Error("empty profile skew not zero")
+	}
+}

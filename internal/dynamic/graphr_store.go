@@ -1,0 +1,141 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// GraphRStore is the comparison target of Fig. 20: the same dynamic
+// request mix applied to GraphR's adjacency-matrix block layout. A block
+// is an 8×8 dense cell array destined for a compute crossbar; changing
+// any edge means locating the block in the sparse block directory and
+// *rewriting the whole block* (the crossbar holds an adjacency matrix,
+// not an append-friendly list — §7.4.2 applies "the same strategy" but
+// the representation forces per-change block reprogramming).
+type GraphRStore struct {
+	dim         int
+	blocks      map[uint64]*denseBlock
+	numVertices int
+	liveEdges   int64
+	invalid     map[graph.VertexID]bool
+	// Rewrites counts whole-block reprogramming passes.
+	Rewrites int64
+}
+
+type denseBlock struct {
+	cells [64]float32
+	count int
+}
+
+// NewGraphRStore lays out g in 8×8 dense blocks.
+func NewGraphRStore(g *graph.Graph, dim int) (*GraphRStore, error) {
+	if dim <= 0 || dim*dim > 64 {
+		return nil, fmt.Errorf("dynamic: block dim %d out of range", dim)
+	}
+	s := &GraphRStore{
+		dim:         dim,
+		blocks:      make(map[uint64]*denseBlock, g.NumEdges()/2+1),
+		numVertices: g.NumVertices,
+		invalid:     map[graph.VertexID]bool{},
+	}
+	for _, e := range g.Edges {
+		if _, err := s.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	s.Rewrites = 0 // initial load is preprocessing, not online traffic
+	return s, nil
+}
+
+func (s *GraphRStore) key(e graph.Edge) (uint64, int) {
+	bx := uint64(e.Src) / uint64(s.dim)
+	by := uint64(e.Dst) / uint64(s.dim)
+	cell := int(e.Src)%s.dim*s.dim + int(e.Dst)%s.dim
+	return bx<<32 | by, cell
+}
+
+// reprogram models rewriting the block's adjacency matrix: every cell of
+// every bit-slice gang is touched (GraphR splits 16-bit values over four
+// 4-bit crossbar copies, so a change rewrites all four).
+func (s *GraphRStore) reprogram(b *denseBlock) {
+	// Four bit-slice gangs, each programmed with a verify pass (ReRAM
+	// programming is program-and-verify: write the cells, read them
+	// back, re-pulse stragglers — modeled as a second sweep).
+	const passes = 4 * 2
+	var acc float32
+	for g := 0; g < passes; g++ {
+		for i := range b.cells {
+			acc += b.cells[i]
+		}
+	}
+	// The accumulation forces the sweep; the value is irrelevant.
+	sinkFloat = acc
+	s.Rewrites++
+}
+
+// sinkFloat defeats dead-code elimination of the reprogram sweep.
+var sinkFloat float32
+
+// AddEdge implements Store.
+func (s *GraphRStore) AddEdge(e graph.Edge) (int, error) {
+	k, cell := s.key(e)
+	b := s.blocks[k]
+	if b == nil {
+		b = &denseBlock{}
+		s.blocks[k] = b
+	}
+	if b.cells[cell] == 0 {
+		b.count++
+	}
+	b.cells[cell]++
+	s.reprogram(b)
+	s.liveEdges++
+	if int(e.Src) >= s.numVertices {
+		s.numVertices = int(e.Src) + 1
+	}
+	if int(e.Dst) >= s.numVertices {
+		s.numVertices = int(e.Dst) + 1
+	}
+	return 1, nil
+}
+
+// DeleteEdge implements Store.
+func (s *GraphRStore) DeleteEdge(e graph.Edge) (int, error) {
+	k, cell := s.key(e)
+	b := s.blocks[k]
+	if b == nil || b.cells[cell] == 0 {
+		return 0, nil
+	}
+	b.cells[cell]--
+	if b.cells[cell] == 0 {
+		b.count--
+		if b.count == 0 {
+			delete(s.blocks, k)
+		}
+	}
+	if b.count > 0 {
+		s.reprogram(b)
+	}
+	s.liveEdges--
+	return 1, nil
+}
+
+// AddVertex implements Store.
+func (s *GraphRStore) AddVertex() (graph.VertexID, int, error) {
+	id := graph.VertexID(s.numVertices)
+	s.numVertices++
+	return id, 1, nil
+}
+
+// DeleteVertex implements Store.
+func (s *GraphRStore) DeleteVertex(v graph.VertexID) (int, error) {
+	if int(v) >= s.numVertices {
+		return 0, fmt.Errorf("dynamic: vertex %d out of range", v)
+	}
+	s.invalid[v] = true
+	return 1, nil
+}
+
+// NumEdges implements Store.
+func (s *GraphRStore) NumEdges() int64 { return s.liveEdges }

@@ -1,0 +1,101 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestIncrementalPageRankValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := NewIncrementalPageRank(g, 0); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	if _, err := NewIncrementalPageRank(g, -1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+// The core property: after a modest update batch, the warm restart must
+// (a) converge to the same fixed point a cold solve finds and (b) take
+// fewer sweeps than the cold solve.
+func TestWarmRestartConvergesFasterToSameFixedPoint(t *testing.T) {
+	g, err := graph.GenerateRMAT(2000, 16000, graph.DefaultRMAT, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-10
+	ip, err := NewIncrementalPageRank(g, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.ColdIterations < 5 {
+		t.Fatalf("cold solve took only %d sweeps; epsilon too loose for the test", ip.ColdIterations)
+	}
+
+	// Evolve the graph through the HyVE store: a 2% update batch.
+	asg, err := partition.NewHashed(g.NumVertices, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewHyVEStore(g, asg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := GenerateRequests(g, 400, Mix{AddEdgePct: 50, DeleteEdgePct: 50}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		if _, err := Apply(store, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evolved := &graph.Graph{NumVertices: store.NumVertices(), Edges: store.Edges()}
+	if err := evolved.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	warmIters, err := ip.Update(evolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ip.ColdSolve(evolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmIters >= cold.Iterations {
+		t.Errorf("warm restart took %d sweeps, cold %d — warm start should be faster", warmIters, cold.Iterations)
+	}
+	// Same fixed point (up to the epsilon band).
+	for v := range cold.Values {
+		if math.Abs(ip.Ranks()[v]-cold.Values[v]) > 50*1e-10 {
+			t.Fatalf("vertex %d: warm %g vs cold %g", v, ip.Ranks()[v], cold.Values[v])
+		}
+	}
+	if ip.Recomputes != 1 || ip.WarmIterations != warmIters {
+		t.Errorf("bookkeeping wrong: %+v", ip)
+	}
+}
+
+// A no-op update batch should converge almost immediately from the warm
+// start.
+func TestWarmRestartOnUnchangedGraphIsCheap(t *testing.T) {
+	g, err := graph.GenerateRMAT(1000, 8000, graph.DefaultRMAT, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewIncrementalPageRank(g, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters, err := ip.Update(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters > 2 {
+		t.Errorf("unchanged graph took %d warm sweeps, want ≤2", iters)
+	}
+}

@@ -1,0 +1,76 @@
+package dynamic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Arbitrary add/delete sequences keep the HyVE store's live-edge count
+// and multiset consistent with a reference multiset.
+func TestStoreCountConsistencyQuick(t *testing.T) {
+	base, err := graph.GenerateUniform(64, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := partition.NewHashed(base.NumVertices, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ops []uint16) bool {
+		s, err := NewHyVEStore(base, asg, 0.3)
+		if err != nil {
+			return false
+		}
+		ref := map[graph.Edge]int{}
+		for _, e := range base.Edges {
+			ref[e]++
+		}
+		live := int64(len(base.Edges))
+		for _, op := range ops {
+			e := graph.Edge{
+				Src: graph.VertexID(op % 64),
+				Dst: graph.VertexID((op >> 6) % 64),
+			}
+			if op&1 == 0 {
+				if _, err := s.AddEdge(e); err != nil {
+					return false
+				}
+				ref[e]++
+				live++
+			} else {
+				n, err := s.DeleteEdge(e)
+				if err != nil {
+					return false
+				}
+				if ref[e] > 0 {
+					if n != 1 {
+						return false
+					}
+					ref[e]--
+					live--
+				} else if n != 0 {
+					return false
+				}
+			}
+		}
+		if s.NumEdges() != live {
+			return false
+		}
+		got := map[graph.Edge]int{}
+		for _, e := range s.Edges() {
+			got[e]++
+		}
+		for e, n := range ref {
+			if got[e] != n {
+				return false
+			}
+		}
+		return len(got) <= len(ref)+1 // no phantom edges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

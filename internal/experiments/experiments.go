@@ -1,0 +1,225 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6 measured data and §7): one runner per artifact, each
+// printing the same rows/series the paper reports. The cmd/hyve-bench
+// binary and the repository's bench_test.go drive these runners; the
+// package tests assert the paper's qualitative shapes on every one.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Options tunes a run.
+type Options struct {
+	// Quick restricts datasets and sweep sizes so the full suite runs in
+	// seconds (used by tests); the default exercises all five datasets.
+	Quick bool
+	// Datasets overrides the dataset list (defaults to graph.Datasets,
+	// or its first two under Quick).
+	Datasets []graph.Dataset
+}
+
+// datasets resolves the dataset list for a run.
+func (o Options) datasets() []graph.Dataset {
+	if len(o.Datasets) > 0 {
+		return o.Datasets
+	}
+	if o.Quick {
+		return graph.Datasets[:2]
+	}
+	return graph.Datasets
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the artifact key: "table1", "fig9", ….
+	ID string
+	// Title is the paper's caption, abbreviated.
+	Title string
+	// Run writes the regenerated rows to w.
+	Run func(w io.Writer, opt Options) error
+}
+
+var registry = []Experiment{
+	{"table1", "Average edges in non-empty 8×8 blocks (Navg)", runTable1},
+	{"table3", "ReRAM bank power under different configurations", runTable3},
+	{"table4", "Energy efficiency varying SRAM sizes (MTEPS/W)", runTable4},
+	{"fig9", "Normalized DRAM/ReRAM delay, energy, EDP (sequential access)", runFig9},
+	{"fig10", "Normalized vertex-memory EDP DRAM/ReRAM on HyVE and GraphR", runFig10},
+	{"fig11", "Vertex storage comparison GraphR/HyVE", runFig11},
+	{"fig12", "Preprocessing speed vs number of blocks", runFig12},
+	{"fig13", "Energy efficiency by ReRAM cell bits", runFig13},
+	{"fig14", "Data-sharing energy-efficiency improvement", runFig14},
+	{"fig15", "Power-gating energy-efficiency improvement", runFig15},
+	{"fig16", "Energy efficiency across configurations (MTEPS/W)", runFig16},
+	{"fig17", "Energy consumption breakdown", runFig17},
+	{"fig18", "Execution time SD/HyVE", runFig18},
+	{"fig19", "Preprocessing time GraphR/HyVE", runFig19},
+	{"fig20", "Dynamic graph update throughput", runFig20},
+	{"fig21", "GraphR/HyVE delay, energy, EDP", runFig21},
+	{"ablation-interleave", "Bank vs subbank interleaving (extension)", runAblationInterleave},
+	{"ablation-nvm", "Edge-memory NVM alternatives (extension)", runAblationNVM},
+	{"ablation-gate-timeout", "Power-gate idle timeout sweep (extension)", runAblationGateTimeout},
+	{"ablation-router", "Router reroute cost sensitivity (extension)", runAblationRouter},
+	{"ablation-model", "Edge-centric vs vertex-centric locality (extension)", runAblationModel},
+	{"ablation-precision", "Crossbar compute precision (extension)", runAblationPrecision},
+	{"ablation-topology", "Topology sensitivity (extension)", runAblationTopology},
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return append([]Experiment(nil), registry...)
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(ids(), ", "))
+}
+
+func ids() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// --- workload assembly with memoized functional runs -------------------
+
+// funcOutcome caches what a functional run determines about a workload.
+type funcOutcome struct {
+	iterations int
+	activity   float64
+	updates    float64
+}
+
+var iterCache sync.Map // "PROG/DATASET" → funcOutcome
+
+// workloadFor builds the standard workload for (dataset, program) with
+// the functional outcome (iteration count, activity factors) memoized
+// across runners: it depends only on the program and graph, not on the
+// architecture.
+func workloadFor(d graph.Dataset, progName string) (core.Workload, error) {
+	p, err := algo.ByName(progName)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	w, err := core.WorkloadFor(d, p)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	key := progName + "/" + d.Name
+	if v, ok := iterCache.Load(key); ok {
+		o := v.(funcOutcome)
+		w.Iterations = o.iterations
+		w.ActivityFactor = o.activity
+		w.UpdateFactor = o.updates
+		return w, nil
+	}
+	fr, err := algo.Run(w.Program, w.Graph)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	o := funcOutcome{iterations: fr.Iterations, activity: fr.ActivityRatio(), updates: fr.UpdateRatio()}
+	iterCache.Store(key, o)
+	w.Iterations = o.iterations
+	w.ActivityFactor = o.activity
+	w.UpdateFactor = o.updates
+	return w, nil
+}
+
+// --- tiny aligned-table writer ------------------------------------------
+
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...any) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	for _, x := range widths {
+		total += x + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// geomean returns the geometric mean of positive values (the averaging
+// the paper uses for its improvement factors).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// median returns the middle value of a sample.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}

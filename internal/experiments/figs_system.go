@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/energy"
+)
+
+// runFig14 regenerates Fig. 14: the energy-efficiency improvement from
+// the §4.2 data-sharing scheme, per algorithm and dataset (paper means:
+// 1.15× BFS, 1.47× CC, 2.19× PR, 1.60× overall).
+func runFig14(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "Fig. 14: energy-efficiency improvement from data sharing (×)")
+	t := newTable("algo", "dataset", "improvement")
+	var all []float64
+	for _, a := range []string{"BFS", "CC", "PR"} {
+		var per []float64
+		for _, d := range opt.datasets() {
+			wl, err := workloadFor(d, a)
+			if err != nil {
+				return err
+			}
+			base, err := core.Simulate(core.HyVE(), wl)
+			if err != nil {
+				return err
+			}
+			cfg := core.HyVE()
+			cfg.DataSharing = true
+			shared, err := core.Simulate(cfg, wl)
+			if err != nil {
+				return err
+			}
+			imp := shared.Report.MTEPSPerWatt() / base.Report.MTEPSPerWatt()
+			per = append(per, imp)
+			all = append(all, imp)
+			t.addf("%s|%s|%.2f", a, d.Name, imp)
+		}
+		t.addf("%s|mean|%.2f", a, geomean(per))
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "overall mean: %.2fx (paper: 1.60x)\n", geomean(all))
+	return err
+}
+
+// runFig15 regenerates Fig. 15: the energy-efficiency improvement from
+// bank-level power gating on top of acc+HyVE (paper mean: 1.53×).
+func runFig15(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "Fig. 15: energy-efficiency improvement from power gating (×)")
+	t := newTable("algo", "dataset", "improvement")
+	var all []float64
+	for _, a := range []string{"BFS", "CC", "PR"} {
+		for _, d := range opt.datasets() {
+			wl, err := workloadFor(d, a)
+			if err != nil {
+				return err
+			}
+			base, err := core.Simulate(core.HyVE(), wl)
+			if err != nil {
+				return err
+			}
+			cfg := core.HyVE()
+			cfg.PowerGating = true
+			gated, err := core.Simulate(cfg, wl)
+			if err != nil {
+				return err
+			}
+			imp := gated.Report.MTEPSPerWatt() / base.Report.MTEPSPerWatt()
+			all = append(all, imp)
+			t.addf("%s|%s|%.2f", a, d.Name, imp)
+		}
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "overall mean: %.2fx (paper: 1.53x)\n", geomean(all))
+	return err
+}
+
+// fig16Rows runs every configuration of Fig. 16 on one workload.
+func fig16Rows(wl core.Workload) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, m := range []cpusim.Model{cpusim.NXgraph(), cpusim.Galois()} {
+		r, err := cpusim.Simulate(m, wl)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Name] = r.MTEPSPerWatt()
+	}
+	for _, cfg := range core.Fig16Configs() {
+		r, err := core.Simulate(cfg, wl)
+		if err != nil {
+			return nil, err
+		}
+		out[cfg.Name] = r.Report.MTEPSPerWatt()
+	}
+	return out, nil
+}
+
+// fig16Order is the presentation order of Fig. 16's bars.
+var fig16Order = []string{
+	"CPU+DRAM", "CPU+DRAM-opt", "acc+DRAM", "acc+ReRAM",
+	"acc+SRAM+DRAM", "acc+HyVE", "acc+HyVE-opt",
+}
+
+// runFig16 regenerates Fig. 16: MTEPS/W for the two CPU baselines and
+// the five accelerator hierarchies, per algorithm and dataset.
+func runFig16(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "Fig. 16: energy efficiency (MTEPS/W) across configurations")
+	algos := []string{"BFS", "CC", "PR"}
+	if opt.Quick {
+		algos = []string{"PR"}
+	}
+	ratios := map[string][]float64{}
+	for _, a := range algos {
+		fmt.Fprintf(w, "\n[%s]\n", a)
+		header := append([]string{"dataset"}, fig16Order...)
+		t := newTable(header...)
+		for _, d := range opt.datasets() {
+			wl, err := workloadFor(d, a)
+			if err != nil {
+				return err
+			}
+			rows, err := fig16Rows(wl)
+			if err != nil {
+				return err
+			}
+			cells := []string{d.Name}
+			for _, name := range fig16Order {
+				cells = append(cells, fmt.Sprintf("%.1f", rows[name]))
+			}
+			t.add(cells...)
+			for _, name := range fig16Order[:len(fig16Order)-1] {
+				ratios[name] = append(ratios[name], rows["acc+HyVE-opt"]/rows[name])
+			}
+		}
+		if err := t.write(w); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "\nacc+HyVE-opt improvement (geomean) over:")
+	for _, name := range fig16Order[:len(fig16Order)-1] {
+		fmt.Fprintf(w, "  %-14s %.2fx\n", name, geomean(ratios[name]))
+	}
+	return nil
+}
+
+// runFig17 regenerates Fig. 17: the energy breakdown (other logic /
+// edge memory / vertex memory) under acc+SRAM+DRAM (SD), acc+HyVE, and
+// acc+HyVE+power-gating (opt), and the headline memory-energy reduction.
+func runFig17(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "Fig. 17: energy consumption breakdown (% of total)")
+	configs := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"SD", core.SRAMDRAM()},
+		{"HyVE", core.HyVE()},
+		{"opt", func() core.Config { c := core.HyVE(); c.PowerGating = true; return c }()},
+	}
+	algos := []string{"BFS", "CC", "PR"}
+	if opt.Quick {
+		algos = []string{"PR"}
+	}
+	t := newTable("algo", "dataset", "config", "logic%", "edge-mem%", "vertex-mem%", "memory total")
+	var sdMem, optMem []float64
+	for _, a := range algos {
+		for _, d := range opt.datasets() {
+			wl, err := workloadFor(d, a)
+			if err != nil {
+				return err
+			}
+			for _, c := range configs {
+				r, err := core.Simulate(c.cfg, wl)
+				if err != nil {
+					return err
+				}
+				bd := &r.Report.Energy
+				logicPct := 100 * (bd.Fraction(energy.Logic) + bd.Fraction(energy.Router))
+				edgePct := 100 * bd.Fraction(energy.EdgeMemory)
+				vertexPct := 100 * float64(bd.VertexMemory()) / float64(bd.Total())
+				t.addf("%s|%s|%s|%.1f|%.1f|%.1f|%v", a, d.Name, c.label, logicPct, edgePct, vertexPct, bd.MemoryTotal())
+				switch c.label {
+				case "SD":
+					sdMem = append(sdMem, float64(bd.MemoryTotal()))
+				case "opt":
+					optMem = append(optMem, float64(bd.MemoryTotal()))
+				}
+			}
+		}
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	var ratios []float64
+	for i := range sdMem {
+		ratios = append(ratios, optMem[i]/sdMem[i])
+	}
+	_, err := fmt.Fprintf(w, "memory energy reduction opt vs SD (geomean): %.2f%% (paper: 86.17%%)\n",
+		100*(1-geomean(ratios)))
+	return err
+}
+
+// runFig18 regenerates Fig. 18: absolute performance (execution time)
+// of SD relative to HyVE — the paper's point being that HyVE's energy
+// wins cost almost no speed (≤15.1% degradation).
+func runFig18(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "Fig. 18: execution time ratio SD/HyVE (1.0 = no degradation)")
+	t := newTable("algo", "dataset", "SD/HyVE")
+	for _, a := range []string{"BFS", "CC", "PR"} {
+		var per []float64
+		for _, d := range opt.datasets() {
+			wl, err := workloadFor(d, a)
+			if err != nil {
+				return err
+			}
+			sd, err := core.Simulate(core.SRAMDRAM(), wl)
+			if err != nil {
+				return err
+			}
+			hv, err := core.Simulate(core.HyVE(), wl)
+			if err != nil {
+				return err
+			}
+			ratio := sd.Report.Time.Seconds() / hv.Report.Time.Seconds()
+			per = append(per, ratio)
+			t.addf("%s|%s|%.3f", a, d.Name, ratio)
+		}
+		t.addf("%s|geomean|%.3f", a, geomean(per))
+	}
+	return t.write(w)
+}

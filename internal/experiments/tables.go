@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/device/rram"
+	"repro/internal/partition"
+)
+
+// runTable1 regenerates Table 1: the average number of edges in
+// non-empty 8×8 blocks. The paper's point: even with up to 64 slots,
+// natural graphs average only 1.23–2.38 edges per touched block, so a
+// ReRAM crossbar programmed per block does almost no useful parallel
+// work.
+func runTable1(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "Table 1: average edges in non-empty 8×8 blocks (paper: 1.23–2.38)")
+	t := newTable("dataset", "non-empty blocks", "Navg", "max/block")
+	for _, d := range opt.datasets() {
+		g, err := d.Load()
+		if err != nil {
+			return err
+		}
+		occ, err := partition.ComputeOccupancy(g, 8)
+		if err != nil {
+			return err
+		}
+		t.addf("%s|%d|%.2f|%d", d.Name, occ.NonEmpty, occ.AvgEdgesPerBlk, occ.MaxEdgesPerBlk)
+	}
+	return t.write(w)
+}
+
+// runTable3 regenerates Table 3: per-read energy, period, and power per
+// bit for the energy- and latency-optimized ReRAM bank designs at
+// 64–512-bit output. The chosen design is the minimum-power/bit row
+// (energy-optimized, 512 bits).
+func runTable3(w io.Writer, _ Options) error {
+	fmt.Fprintln(w, "Table 3: ReRAM bank power under different configurations")
+	t := newTable("objective", "output", "energy (pJ)", "period (ps)", "power/bit (mW)")
+	best := rram.Table3[0]
+	for _, op := range rram.Table3 {
+		cfg := rram.DefaultConfig()
+		cfg.Optimize = op.Optimize
+		cfg.OutputBits = op.OutputBits
+		chip, err := rram.New(cfg)
+		if err != nil {
+			return err
+		}
+		rd := chip.Read(true)
+		t.addf("%v|%d bits|%.2f|%.0f|%.2f",
+			op.Optimize, op.OutputBits, rd.Energy.Picojoules(), rd.Latency.Picoseconds(),
+			op.PowerPerBit().Milliwatts())
+		if op.PowerPerBit() < best.PowerPerBit() {
+			best = op
+		}
+	}
+	if err := t.write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "chosen design: %v / %d-bit output (%.2f mW/bit)\n",
+		best.Optimize, best.OutputBits, best.PowerPerBit().Milliwatts())
+	return err
+}
+
+// runTable4 regenerates Table 4: MTEPS/W for every combination of
+// {±power-gating, ±data-sharing} × SRAM size × algorithm × dataset.
+func runTable4(w io.Writer, opt Options) error {
+	fmt.Fprintln(w, "Table 4: energy efficiency varying SRAM sizes (MTEPS/W)")
+	sizes := []int64{2 << 20, 4 << 20, 8 << 20, 16 << 20}
+	algos := []string{"BFS", "CC", "PR"}
+	if opt.Quick {
+		sizes = sizes[:2]
+		algos = []string{"BFS", "PR"}
+	}
+	combos := []struct {
+		label           string
+		gating, sharing bool
+	}{
+		{"w/o power-gating, w/o sharing", false, false},
+		{"w/o power-gating, w/ sharing", false, true},
+		{"w/ power-gating, w/o sharing", true, false},
+		{"w/ power-gating, w/ sharing", true, true},
+	}
+	for _, combo := range combos {
+		fmt.Fprintf(w, "\n[%s]\n", combo.label)
+		header := []string{"algo", "dataset"}
+		for _, s := range sizes {
+			header = append(header, fmt.Sprintf("%dMB", s>>20))
+		}
+		t := newTable(header...)
+		for _, a := range algos {
+			for _, d := range opt.datasets() {
+				wl, err := workloadFor(d, a)
+				if err != nil {
+					return err
+				}
+				row := []string{a, d.Name}
+				for _, s := range sizes {
+					cfg := core.HyVE()
+					cfg.SRAMBytes = s
+					cfg.DataSharing = combo.sharing
+					cfg.PowerGating = combo.gating
+					r, err := core.Simulate(cfg, wl)
+					if err != nil {
+						return err
+					}
+					row = append(row, fmt.Sprintf("%.0f", r.Report.MTEPSPerWatt()))
+				}
+				t.add(row...)
+			}
+		}
+		if err := t.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package graph
+
+import "fmt"
+
+// RMATParams configures the recursive-matrix (R-MAT / Kronecker)
+// generator. A, B, C, D are the quadrant probabilities; natural graphs
+// such as the paper's social-network datasets are well modeled by the
+// canonical skewed setting (0.57, 0.19, 0.19, 0.05).
+type RMATParams struct {
+	A, B, C, D float64
+	// Noise perturbs the quadrant probabilities per recursion level to
+	// avoid the artificial self-similarity of pure R-MAT. 0 disables.
+	Noise float64
+}
+
+// DefaultRMAT is the Graph500-style parameterization used for the
+// synthetic stand-ins of the paper's natural graphs.
+var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05, Noise: 0.05}
+
+// Validate checks that the quadrant probabilities form a distribution.
+func (p RMATParams) Validate() error {
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("graph: RMAT quadrant probabilities sum to %v, want 1", sum)
+	}
+	for _, q := range []float64{p.A, p.B, p.C, p.D} {
+		if q < 0 {
+			return fmt.Errorf("graph: negative RMAT quadrant probability %v", q)
+		}
+	}
+	if p.Noise < 0 || p.Noise >= 0.5 {
+		return fmt.Errorf("graph: RMAT noise %v out of [0, 0.5)", p.Noise)
+	}
+	return nil
+}
+
+// GenerateRMAT produces a directed graph with numVertices vertices
+// (rounded up internally to a power of two for quadrant recursion, then
+// mapped back down) and numEdges edges drawn from the R-MAT distribution.
+// Self-loops and duplicate edges are kept, matching the raw SNAP edge
+// lists the paper streams. The output is deterministic in seed.
+func GenerateRMAT(numVertices, numEdges int, p RMATParams, seed uint64) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if numVertices <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	levels := 0
+	for (1 << levels) < numVertices {
+		levels++
+	}
+	rng := NewRNG(seed)
+	g := &Graph{NumVertices: numVertices, Edges: make([]Edge, 0, numEdges)}
+	for len(g.Edges) < numEdges {
+		src, dst := rmatPick(rng, levels, p)
+		// Rejection keeps the quadrant distribution intact for vertex
+		// counts that are not powers of two.
+		if src >= numVertices || dst >= numVertices {
+			continue
+		}
+		g.Edges = append(g.Edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+	}
+	return g, nil
+}
+
+func rmatPick(rng *RNG, levels int, p RMATParams) (src, dst int) {
+	for l := 0; l < levels; l++ {
+		a, b, c := p.A, p.B, p.C
+		if p.Noise > 0 {
+			// Symmetric multiplicative noise per level.
+			n := 1 + p.Noise*(2*rng.Float64()-1)
+			a *= n
+			b *= n
+			// Renormalization is implicit: thresholds below compare the
+			// running prefix sums against a fresh uniform draw.
+		}
+		u := rng.Float64() * (a + b + c + p.D)
+		src <<= 1
+		dst <<= 1
+		switch {
+		case u < a:
+			// top-left quadrant: neither bit set.
+		case u < a+b:
+			dst |= 1
+		case u < a+b+c:
+			src |= 1
+		default:
+			src |= 1
+			dst |= 1
+		}
+	}
+	return src, dst
+}
+
+// GenerateUniform produces a directed Erdős–Rényi-style graph with
+// exactly numEdges uniformly random edges. It is the control workload
+// for experiments that separate skew effects from size effects.
+func GenerateUniform(numVertices, numEdges int, seed uint64) (*Graph, error) {
+	if numVertices <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	rng := NewRNG(seed)
+	g := &Graph{NumVertices: numVertices, Edges: make([]Edge, numEdges)}
+	for i := range g.Edges {
+		g.Edges[i] = Edge{
+			Src: VertexID(rng.Intn(numVertices)),
+			Dst: VertexID(rng.Intn(numVertices)),
+		}
+	}
+	return g, nil
+}
+
+// GenerateChain produces a path graph 0→1→…→n-1: the minimal connected
+// workload, useful for exact-answer algorithm tests (BFS depth = index).
+func GenerateChain(numVertices int) (*Graph, error) {
+	if numVertices <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	g := &Graph{NumVertices: numVertices, Edges: make([]Edge, 0, numVertices-1)}
+	for v := 0; v+1 < numVertices; v++ {
+		g.Edges = append(g.Edges, Edge{Src: VertexID(v), Dst: VertexID(v + 1)})
+	}
+	return g, nil
+}
+
+// AttachUniformWeights adds deterministic pseudo-random edge weights in
+// (0, maxWeight] to g, for SSSP and SpMV workloads.
+func AttachUniformWeights(g *Graph, maxWeight float32, seed uint64) {
+	rng := NewRNG(seed)
+	g.Weights = make([]float32, len(g.Edges))
+	for i := range g.Weights {
+		g.Weights[i] = maxWeight * float32(1-rng.Float64())
+	}
+}

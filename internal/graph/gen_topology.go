@@ -1,0 +1,68 @@
+package graph
+
+import "fmt"
+
+// Additional topology generators beyond R-MAT: small-world rings
+// (Watts–Strogatz) and preferential attachment (Barabási–Albert). The
+// paper evaluates only on skewed natural graphs; these give the
+// topology-sensitivity ablation structurally different workloads — high
+// locality with low skew (small world) and hub-dominated skew with no
+// block locality (preferential attachment).
+
+// GenerateSmallWorld builds a Watts–Strogatz graph: numVertices vertices
+// on a ring, each connected to its k nearest clockwise neighbors, with
+// each edge rewired to a uniform random endpoint with probability beta.
+// Directed edges (the ring orientation), deterministic in seed.
+func GenerateSmallWorld(numVertices, k int, beta float64, seed uint64) (*Graph, error) {
+	if numVertices <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	if k <= 0 || k >= numVertices {
+		return nil, fmt.Errorf("graph: small-world degree %d out of (0,%d)", k, numVertices)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("graph: rewire probability %v out of [0,1]", beta)
+	}
+	rng := NewRNG(seed)
+	g := &Graph{NumVertices: numVertices, Edges: make([]Edge, 0, numVertices*k)}
+	for v := 0; v < numVertices; v++ {
+		for j := 1; j <= k; j++ {
+			dst := (v + j) % numVertices
+			if beta > 0 && rng.Float64() < beta {
+				dst = rng.Intn(numVertices)
+			}
+			g.Edges = append(g.Edges, Edge{Src: VertexID(v), Dst: VertexID(dst)})
+		}
+	}
+	return g, nil
+}
+
+// GeneratePreferentialAttachment builds a Barabási–Albert graph: vertices
+// arrive one at a time and attach m out-edges to existing vertices with
+// probability proportional to their current degree (plus one, so
+// isolated seeds remain reachable). Deterministic in seed.
+func GeneratePreferentialAttachment(numVertices, m int, seed uint64) (*Graph, error) {
+	if numVertices <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	if m <= 0 || m >= numVertices {
+		return nil, fmt.Errorf("graph: attachment degree %d out of (0,%d)", m, numVertices)
+	}
+	rng := NewRNG(seed)
+	g := &Graph{NumVertices: numVertices, Edges: make([]Edge, 0, (numVertices-m)*m)}
+	// The repeated-endpoints trick: drawing uniformly from the endpoint
+	// multiset IS degree-proportional sampling.
+	endpoints := make([]VertexID, 0, 2*(numVertices-m)*m+m)
+	for v := 0; v < m; v++ {
+		endpoints = append(endpoints, VertexID(v)) // the "+1" seed mass
+	}
+	for v := m; v < numVertices; v++ {
+		for j := 0; j < m; j++ {
+			dst := endpoints[rng.Intn(len(endpoints))]
+			g.Edges = append(g.Edges, Edge{Src: VertexID(v), Dst: dst})
+			endpoints = append(endpoints, dst)
+		}
+		endpoints = append(endpoints, VertexID(v))
+	}
+	return g, nil
+}

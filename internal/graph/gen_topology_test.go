@@ -1,0 +1,98 @@
+package graph
+
+import "testing"
+
+func TestSmallWorldStructure(t *testing.T) {
+	g, err := GenerateSmallWorld(1000, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4000 {
+		t.Fatalf("|E| = %d, want n·k", g.NumEdges())
+	}
+	// beta=0: pure ring, every out-degree exactly k, perfectly uniform.
+	for v, d := range g.OutDegrees() {
+		if d != 4 {
+			t.Fatalf("vertex %d out-degree %d, want 4", v, d)
+		}
+	}
+	if gi := ComputeStats(g).GiniOut; gi > 1e-9 {
+		t.Errorf("ring gini = %v, want 0", gi)
+	}
+	// beta=1: fully rewired, still n·k edges but no longer a pure ring.
+	rewired, err := GenerateSmallWorld(1000, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range g.Edges {
+		if rewired.Edges[i] == g.Edges[i] {
+			same++
+		}
+	}
+	if same > g.NumEdges()/2 {
+		t.Errorf("beta=1 left %d/%d ring edges in place", same, g.NumEdges())
+	}
+}
+
+func TestSmallWorldValidation(t *testing.T) {
+	if _, err := GenerateSmallWorld(0, 2, 0.1, 1); err == nil {
+		t.Error("zero vertices accepted")
+	}
+	if _, err := GenerateSmallWorld(10, 0, 0.1, 1); err == nil {
+		t.Error("zero k accepted")
+	}
+	if _, err := GenerateSmallWorld(10, 10, 0.1, 1); err == nil {
+		t.Error("k ≥ n accepted")
+	}
+	if _, err := GenerateSmallWorld(10, 2, 1.5, 1); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	g, err := GeneratePreferentialAttachment(2000, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != (2000-4)*4 {
+		t.Fatalf("|E| = %d", g.NumEdges())
+	}
+	// Hub formation: in-degree skew far above a uniform graph's.
+	uni, err := GenerateUniform(2000, g.NumEdges(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ComputeStats(g).MaxInDeg <= 2*ComputeStats(uni).MaxInDeg {
+		t.Errorf("preferential attachment max in-degree %d not hub-like (uniform: %d)",
+			ComputeStats(g).MaxInDeg, ComputeStats(uni).MaxInDeg)
+	}
+	// Determinism.
+	g2, err := GeneratePreferentialAttachment(2000, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != g2.Edges[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestPreferentialAttachmentValidation(t *testing.T) {
+	if _, err := GeneratePreferentialAttachment(0, 2, 1); err == nil {
+		t.Error("zero vertices accepted")
+	}
+	if _, err := GeneratePreferentialAttachment(10, 0, 1); err == nil {
+		t.Error("zero m accepted")
+	}
+	if _, err := GeneratePreferentialAttachment(4, 4, 1); err == nil {
+		t.Error("m ≥ n accepted")
+	}
+}

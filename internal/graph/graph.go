@@ -1,0 +1,179 @@
+// Package graph provides the graph substrate used by the HyVE simulator:
+// in-memory edge lists and CSR views, deterministic synthetic generators
+// (R-MAT/Kronecker and uniform), the registry of the paper's five
+// evaluation datasets, and compact binary serialization.
+//
+// The paper's datasets are SNAP downloads; this repository recreates them
+// synthetically with matching vertex/edge counts and skew (see dataset.go
+// and DESIGN.md §1 for the substitution argument).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VertexID indexes a vertex. The paper assumes 32-bit vertex indices
+// (an edge is two 32-bit ids, 64 bits total).
+type VertexID = uint32
+
+// Edge is a directed edge: 64 bits, exactly the paper's layout
+// ("32 bits for the source vertex index and 32 bits for the destination").
+type Edge struct {
+	Src, Dst VertexID
+}
+
+// EdgeBytes is the storage footprint of one edge in the edge memory.
+const EdgeBytes = 8
+
+// Graph is a directed graph stored as an edge list, the native format of
+// the edge-centric model: edges are streamed sequentially, vertices are
+// identified by dense indices in [0, NumVertices).
+//
+// Weights, when non-nil, holds one constant weight per edge (used by
+// SSSP/SpMV); per the paper, weights never change during execution.
+type Graph struct {
+	NumVertices int
+	Edges       []Edge
+	Weights     []float32
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.Weights != nil }
+
+// Weight returns the weight of edge i, defaulting to 1 for unweighted
+// graphs so traversal algorithms can treat every graph uniformly.
+func (g *Graph) Weight(i int) float32 {
+	if g.Weights == nil {
+		return 1
+	}
+	return g.Weights[i]
+}
+
+// Validate checks structural invariants: every endpoint is in range and,
+// if weights are present, there is exactly one per edge.
+func (g *Graph) Validate() error {
+	if g.NumVertices < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", g.NumVertices)
+	}
+	n := uint32(g.NumVertices)
+	for i, e := range g.Edges {
+		if e.Src >= n || e.Dst >= n {
+			return fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, n)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("graph: %d weights for %d edges", len(g.Weights), len(g.Edges))
+	}
+	return nil
+}
+
+// OutDegrees returns the out-degree of every vertex.
+func (g *Graph) OutDegrees() []int {
+	deg := make([]int, g.NumVertices)
+	for _, e := range g.Edges {
+		deg[e.Src]++
+	}
+	return deg
+}
+
+// InDegrees returns the in-degree of every vertex.
+func (g *Graph) InDegrees() []int {
+	deg := make([]int, g.NumVertices)
+	for _, e := range g.Edges {
+		deg[e.Dst]++
+	}
+	return deg
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{NumVertices: g.NumVertices, Edges: append([]Edge(nil), g.Edges...)}
+	if g.Weights != nil {
+		c.Weights = append([]float32(nil), g.Weights...)
+	}
+	return c
+}
+
+// SortEdges orders edges by (Src, Dst), the canonical layout for
+// edge-centric frameworks that "sorted the edges to improve data
+// locality" (paper §2.1). Weights, if present, follow their edges.
+func (g *Graph) SortEdges() {
+	if g.Weights == nil {
+		sort.Slice(g.Edges, func(i, j int) bool { return edgeLess(g.Edges[i], g.Edges[j]) })
+		return
+	}
+	idx := make([]int, len(g.Edges))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return edgeLess(g.Edges[idx[i]], g.Edges[idx[j]]) })
+	edges := make([]Edge, len(g.Edges))
+	weights := make([]float32, len(g.Weights))
+	for to, from := range idx {
+		edges[to] = g.Edges[from]
+		weights[to] = g.Weights[from]
+	}
+	g.Edges, g.Weights = edges, weights
+}
+
+func edgeLess(a, b Edge) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+// ErrEmptyGraph is returned by operations that need at least one vertex.
+var ErrEmptyGraph = errors.New("graph: empty graph")
+
+// CSR is a compressed-sparse-row view of a graph: Offsets[v]..Offsets[v+1]
+// index the out-edges of v inside Targets. It is the access structure the
+// reference (vertex-centric) algorithm implementations use.
+type CSR struct {
+	Offsets []int64
+	Targets []VertexID
+	Weights []float32
+}
+
+// BuildCSR constructs a CSR adjacency view without mutating g.
+func BuildCSR(g *Graph) *CSR {
+	offsets := make([]int64, g.NumVertices+1)
+	for _, e := range g.Edges {
+		offsets[e.Src+1]++
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	targets := make([]VertexID, len(g.Edges))
+	var weights []float32
+	if g.Weights != nil {
+		weights = make([]float32, len(g.Edges))
+	}
+	next := make([]int64, g.NumVertices)
+	copy(next, offsets[:g.NumVertices])
+	for i, e := range g.Edges {
+		at := next[e.Src]
+		targets[at] = e.Dst
+		if weights != nil {
+			weights[at] = g.Weights[i]
+		}
+		next[e.Src]++
+	}
+	return &CSR{Offsets: offsets, Targets: targets, Weights: weights}
+}
+
+// OutDegree returns the out-degree of v.
+func (c *CSR) OutDegree(v VertexID) int {
+	return int(c.Offsets[v+1] - c.Offsets[v])
+}
+
+// Neighbors returns the out-neighbors of v. The returned slice aliases
+// the CSR arrays and must not be modified.
+func (c *CSR) Neighbors(v VertexID) []VertexID {
+	return c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+}

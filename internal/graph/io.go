@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Binary format: a fixed header followed by the edge array and, when the
+// weighted flag is set, the weight array. All integers little-endian.
+//
+//	magic   uint32  'H','y','V','E'
+//	version uint32  1
+//	flags   uint32  bit0 = weighted
+//	nVerts  uint64
+//	nEdges  uint64
+//	edges   nEdges × {src uint32, dst uint32}
+//	weights nEdges × float32 (iff weighted)
+const (
+	binaryMagic   = 0x45567948 // "HyVE" little-endian
+	binaryVersion = 1
+	flagWeighted  = 1 << 0
+)
+
+// WriteBinary serializes g in the repository's binary graph format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var flags uint32
+	if g.Weights != nil {
+		flags |= flagWeighted
+	}
+	hdr := []any{
+		uint32(binaryMagic), uint32(binaryVersion), flags,
+		uint64(g.NumVertices), uint64(len(g.Edges)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("graph: writing header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Edges); err != nil {
+		return fmt.Errorf("graph: writing edges: %w", err)
+	}
+	if g.Weights != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+			return fmt.Errorf("graph: writing weights: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic, version, flags uint32
+	var nVerts, nEdges uint64
+	for _, p := range []any{&magic, &version, &flags} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	for _, p := range []any{&nVerts, &nEdges} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+	}
+	const maxReasonable = 1 << 34
+	if nVerts > maxReasonable || nEdges > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes |V|=%d |E|=%d", nVerts, nEdges)
+	}
+	g := &Graph{NumVertices: int(nVerts), Edges: make([]Edge, nEdges)}
+	if err := binary.Read(br, binary.LittleEndian, g.Edges); err != nil {
+		return nil, fmt.Errorf("graph: reading edges: %w", err)
+	}
+	if flags&flagWeighted != 0 {
+		g.Weights = make([]float32, nEdges)
+		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+			return nil, fmt.Errorf("graph: reading weights: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseEdgeList reads a SNAP-style whitespace-separated text edge list
+// ("src dst" or "src dst weight" per line; '#' starts a comment). The
+// vertex count is 1 + the maximum id seen.
+func ParseEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	g := &Graph{}
+	var maxID VertexID
+	weighted := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source: %w", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad destination: %w", lineNo, err)
+		}
+		g.Edges = append(g.Edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+		if len(fields) >= 3 {
+			w, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNo, err)
+			}
+			if !weighted {
+				weighted = true
+				g.Weights = make([]float32, len(g.Edges)-1)
+				for i := range g.Weights {
+					g.Weights[i] = 1
+				}
+			}
+			g.Weights = append(g.Weights, float32(w))
+		} else if weighted {
+			g.Weights = append(g.Weights, 1)
+		}
+		if VertexID(src) > maxID {
+			maxID = VertexID(src)
+		}
+		if VertexID(dst) > maxID {
+			maxID = VertexID(dst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	if len(g.Edges) > 0 {
+		g.NumVertices = int(maxID) + 1
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes g as a SNAP-style text edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# HyVE edge list: %d vertices, %d edges\n", g.NumVertices, len(g.Edges))
+	for i, e := range g.Edges {
+		if g.Weights != nil {
+			fmt.Fprintf(bw, "%d %d %g\n", e.Src, e.Dst, g.Weights[i])
+		} else {
+			fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
+		}
+	}
+	return bw.Flush()
+}

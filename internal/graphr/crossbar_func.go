@@ -1,0 +1,240 @@
+package graphr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Functional emulation of GraphR's analog compute: values are quantized
+// to ValueBits fixed point, bit-sliced over ValueBits/CellBits crossbar
+// copies (§6.4: "GraphR uses 4 crossbars with 4-bit cells to perform
+// 16-bit operations"), each slice performs an integer matrix-vector
+// product (the digital stand-in for the analog current summation), and
+// the slices recombine by shift-and-add. Running PageRank through this
+// path quantifies the precision the crossbar actually delivers — the
+// fidelity dimension the paper's energy model leaves implicit.
+
+// Quantizer maps non-negative reals to ValueBits fixed point with a
+// fixed scale, and slices them into CellBits planes.
+type Quantizer struct {
+	ValueBits int
+	CellBits  int
+	// Scale is the real value represented by the full-scale code.
+	Scale float64
+}
+
+// NewQuantizer validates the geometry.
+func NewQuantizer(valueBits, cellBits int, scale float64) (*Quantizer, error) {
+	if valueBits <= 0 || valueBits > 30 || cellBits <= 0 || valueBits%cellBits != 0 {
+		return nil, fmt.Errorf("graphr: bad quantizer geometry %d/%d", valueBits, cellBits)
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("graphr: non-positive scale %v", scale)
+	}
+	return &Quantizer{ValueBits: valueBits, CellBits: cellBits, Scale: scale}, nil
+}
+
+// Levels returns the code count.
+func (q *Quantizer) Levels() uint32 { return 1 << q.ValueBits }
+
+// Quantize clamps x to [0, Scale] and returns its code.
+func (q *Quantizer) Quantize(x float64) uint32 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= q.Scale {
+		return q.Levels() - 1
+	}
+	return uint32(math.Round(x / q.Scale * float64(q.Levels()-1)))
+}
+
+// Dequantize inverts Quantize.
+func (q *Quantizer) Dequantize(code uint32) float64 {
+	return float64(code) / float64(q.Levels()-1) * q.Scale
+}
+
+// Slices splits a code into ValueBits/CellBits planes, least significant
+// first.
+func (q *Quantizer) Slices(code uint32) []uint32 {
+	n := q.ValueBits / q.CellBits
+	mask := uint32(1<<q.CellBits) - 1
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		out[i] = code >> (i * q.CellBits) & mask
+	}
+	return out
+}
+
+// Recombine shift-adds slice-plane dot products back into a full-width
+// integer result.
+func (q *Quantizer) Recombine(sliceSums []uint64) uint64 {
+	var acc uint64
+	for i, s := range sliceSums {
+		acc += s << (i * q.CellBits)
+	}
+	return acc
+}
+
+// CrossbarMVM computes out[j] = Σ_i in[i]·cell[i][j] through the sliced
+// planes: the matrix is stored sliced (as the four 4-bit crossbars hold
+// it), inputs are applied full-width (GraphR drives DACs per row), and
+// each plane's integer products recombine by shift-add.
+func (q *Quantizer) CrossbarMVM(cells [][]uint32, in []uint32) []uint64 {
+	dim := len(cells)
+	out := make([]uint64, dim)
+	planes := q.ValueBits / q.CellBits
+	mask := uint32(1<<q.CellBits) - 1
+	for p := 0; p < planes; p++ {
+		shift := p * q.CellBits
+		for i := 0; i < dim; i++ {
+			v := uint64(in[i])
+			if v == 0 {
+				continue
+			}
+			row := cells[i]
+			for j := 0; j < dim; j++ {
+				g := uint64(row[j] >> shift & mask)
+				if g != 0 {
+					out[j] += (v * g) << shift
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PageRankCrossbar runs PageRank for `iters` iterations with all edge
+// propagation performed through quantized 8×8 crossbar MVMs, and returns
+// the ranks plus the maximum relative error against the float64 oracle.
+func PageRankCrossbar(g *graph.Graph, q *Quantizer, damping float64, iters int) ([]float64, float64, error) {
+	if g.NumVertices == 0 {
+		return nil, 0, graph.ErrEmptyGraph
+	}
+	if iters <= 0 || damping <= 0 || damping >= 1 {
+		return nil, 0, fmt.Errorf("graphr: bad PageRank parameters (iters=%d, damping=%v)", iters, damping)
+	}
+	const dim = 8
+	n := g.NumVertices
+	outDeg := g.OutDegrees()
+
+	// Block directory: sparse 8×8 blocks holding 1/outdeg weights — what
+	// GraphR programs into a crossbar per block.
+	type blockKey struct{ bx, by uint32 }
+	blocks := map[blockKey][][]uint32{}
+	// Weight quantizer: weights are 1/outdeg ∈ (0, 1].
+	wq, err := NewQuantizer(q.ValueBits, q.CellBits, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, e := range g.Edges {
+		k := blockKey{e.Src / dim, e.Dst / dim}
+		b := blocks[k]
+		if b == nil {
+			b = make([][]uint32, dim)
+			for i := range b {
+				b[i] = make([]uint32, dim)
+			}
+			blocks[k] = b
+		}
+		// Multi-edges accumulate weight codes (saturating at full scale).
+		w := wq.Quantize(1 / float64(outDeg[e.Src]))
+		cell := &b[e.Src%dim][e.Dst%dim]
+		if sum := *cell + w; sum < wq.Levels() {
+			*cell = sum
+		} else {
+			*cell = wq.Levels() - 1
+		}
+	}
+
+	rank := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	// Rank quantizer scale: ranks stay below ~64/n on natural graphs;
+	// rescale each iteration to the current maximum for full dynamic
+	// range (GraphR's DAC reference voltage).
+	for it := 0; it < iters; it++ {
+		maxRank := 0.0
+		for _, r := range rank {
+			if r > maxRank {
+				maxRank = r
+			}
+		}
+		rq, err := NewQuantizer(q.ValueBits, q.CellBits, maxRank)
+		if err != nil {
+			return nil, 0, err
+		}
+		next := make([]float64, n)
+		base := (1 - damping) / float64(n)
+		for v := range next {
+			next[v] = base
+		}
+		full := float64(uint64(rq.Levels()-1)) * float64(uint64(wq.Levels()-1))
+		for k, cells := range blocks {
+			in := make([]uint32, dim)
+			for i := 0; i < dim; i++ {
+				v := int(k.bx)*dim + i
+				if v < n {
+					in[i] = rq.Quantize(rank[v])
+				}
+			}
+			out := q.CrossbarMVM(cells, in)
+			for j := 0; j < dim; j++ {
+				u := int(k.by)*dim + j
+				if u < n && out[j] > 0 {
+					// Dequantize the integer dot product: codes multiply,
+					// so the real value is out / (rankFull × weightFull)
+					// × rankScale × weightScale.
+					next[u] += damping * float64(out[j]) / full * maxRank
+				}
+			}
+		}
+		rank = next
+	}
+
+	// Oracle comparison.
+	exact, err := exactPageRank(g, damping, iters)
+	if err != nil {
+		return nil, 0, err
+	}
+	maxRel := 0.0
+	for v := range rank {
+		if exact[v] == 0 {
+			continue
+		}
+		if rel := math.Abs(rank[v]-exact[v]) / exact[v]; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return rank, maxRel, nil
+}
+
+func exactPageRank(g *graph.Graph, damping float64, iters int) ([]float64, error) {
+	n := g.NumVertices
+	outDeg := g.OutDegrees()
+	rank := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		base := (1 - damping) / float64(n)
+		for v := range next {
+			next[v] = base
+		}
+		for _, e := range g.Edges {
+			next[e.Dst] += damping * rank[e.Src] / float64(outDeg[e.Src])
+		}
+		rank = next
+	}
+	return rank, nil
+}
+
+// BlockOccupancyOf re-exports the Table 1 statistic for callers that
+// already hold a graph (keeps the GraphR package self-contained).
+func BlockOccupancyOf(g *graph.Graph, dim int) (partition.Occupancy, error) {
+	return partition.ComputeOccupancy(g, dim)
+}

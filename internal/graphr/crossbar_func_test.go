@@ -1,0 +1,156 @@
+package graphr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestQuantizerValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {16, 0}, {16, 5}, {31, 1}} {
+		if _, err := NewQuantizer(bad[0], bad[1], 1); err == nil {
+			t.Errorf("geometry %v accepted", bad)
+		}
+	}
+	if _, err := NewQuantizer(16, 4, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	q, err := NewQuantizer(16, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Quantize(-1) != 0 || q.Quantize(0) != 0 {
+		t.Error("non-positive values must map to 0")
+	}
+	if q.Quantize(5) != q.Levels()-1 {
+		t.Error("overscale values must clamp to full scale")
+	}
+	// Dequantize(Quantize(x)) within half an LSB.
+	lsb := 2.0 / float64(q.Levels()-1)
+	for _, x := range []float64{0.001, 0.5, 1.0, 1.999} {
+		back := q.Dequantize(q.Quantize(x))
+		if math.Abs(back-x) > lsb {
+			t.Errorf("round trip of %v → %v off by more than an LSB", x, back)
+		}
+	}
+}
+
+// Slicing and recombining is the identity on codes.
+func TestSliceRecombineIdentity(t *testing.T) {
+	q, err := NewQuantizer(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(code uint16) bool {
+		slices := q.Slices(uint32(code))
+		if len(slices) != 4 {
+			return false
+		}
+		sums := make([]uint64, len(slices))
+		for i, s := range slices {
+			if s > 15 {
+				return false
+			}
+			sums[i] = uint64(s)
+		}
+		return q.Recombine(sums) == uint64(code)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The bit-sliced MVM must equal the direct integer MVM exactly: slicing
+// is algebraically lossless; only quantization loses information.
+func TestCrossbarMVMMatchesIntegerMVM(t *testing.T) {
+	q, err := NewQuantizer(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := graph.NewRNG(9)
+	const dim = 8
+	cells := make([][]uint32, dim)
+	in := make([]uint32, dim)
+	for i := range cells {
+		cells[i] = make([]uint32, dim)
+		for j := range cells[i] {
+			cells[i][j] = uint32(rng.Intn(1 << 16))
+		}
+		in[i] = uint32(rng.Intn(1 << 16))
+	}
+	got := q.CrossbarMVM(cells, in)
+	for j := 0; j < dim; j++ {
+		var want uint64
+		for i := 0; i < dim; i++ {
+			want += uint64(in[i]) * uint64(cells[i][j])
+		}
+		if got[j] != want {
+			t.Fatalf("column %d: sliced %d vs direct %d", j, got[j], want)
+		}
+	}
+}
+
+// 16-bit crossbar PageRank tracks the float64 oracle closely; 8-bit
+// drifts further — quantization precision is the fidelity price of the
+// analog compute.
+func TestPageRankCrossbarPrecision(t *testing.T) {
+	g, err := graph.GenerateRMAT(1024, 8192, graph.DefaultRMAT, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q16, err := NewQuantizer(16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err16, err := PageRankCrossbar(g, q16, 0.85, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != g.NumVertices {
+		t.Fatal("wrong rank vector size")
+	}
+	if err16 > 0.05 {
+		t.Errorf("16-bit crossbar PR max relative error %.4f, want ≤5%%", err16)
+	}
+	q8, err := NewQuantizer(8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err8, err := PageRankCrossbar(g, q8, 0.85, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err8 <= err16 {
+		t.Errorf("8-bit error %.4f not above 16-bit %.4f", err8, err16)
+	}
+}
+
+func TestPageRankCrossbarValidation(t *testing.T) {
+	q, _ := NewQuantizer(16, 4, 1)
+	if _, _, err := PageRankCrossbar(&graph.Graph{}, q, 0.85, 10); err == nil {
+		t.Error("empty graph accepted")
+	}
+	g, _ := graph.GenerateChain(10)
+	if _, _, err := PageRankCrossbar(g, q, 0.85, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, _, err := PageRankCrossbar(g, q, 1.5, 5); err == nil {
+		t.Error("bad damping accepted")
+	}
+}
+
+func TestBlockOccupancyOf(t *testing.T) {
+	g, _ := graph.GenerateChain(16)
+	occ, err := BlockOccupancyOf(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.TotalEdges != int64(g.NumEdges()) {
+		t.Error("occupancy lost edges")
+	}
+}

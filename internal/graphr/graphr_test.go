@@ -1,0 +1,155 @@
+package graphr
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func testWorkload(t *testing.T, progName string) core.Workload {
+	t.Helper()
+	g, err := graph.GenerateRMAT(2048, 16384, graph.DefaultRMAT, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := algo.ByName(progName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NeedsWeights() {
+		graph.AttachUniformWeights(g, 4, 55)
+	}
+	return core.Workload{DatasetName: "test", Graph: g, Program: p}
+}
+
+func simulate(t *testing.T, cfg Config, w core.Workload) *Result {
+	t.Helper()
+	r, err := Simulate(cfg, w)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	return r
+}
+
+func TestValidation(t *testing.T) {
+	bad := Default()
+	bad.Parallel = 0
+	if bad.Validate() == nil {
+		t.Error("zero parallelism accepted")
+	}
+	bad = Default()
+	bad.BlockDim = 0
+	if bad.Validate() == nil {
+		t.Error("zero block dim accepted")
+	}
+	w := testWorkload(t, "PR")
+	if _, err := Simulate(Default(), core.Workload{Program: w.Program}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Simulate(Default(), core.Workload{Graph: w.Graph}); err == nil {
+		t.Error("nil program accepted")
+	}
+}
+
+func TestReportBasics(t *testing.T) {
+	w := testWorkload(t, "PR")
+	r := simulate(t, Default(), w)
+	if r.Report.Time <= 0 || r.Report.Energy.Total() <= 0 {
+		t.Fatal("non-positive time or energy")
+	}
+	if r.Report.Iterations != 10 {
+		t.Errorf("PR iterations = %d, want 10", r.Report.Iterations)
+	}
+	if r.Detail.Navg <= 0 || r.Detail.NonEmptyBlocks <= 0 {
+		t.Error("occupancy not computed")
+	}
+	// R-MAT block occupancy mirrors Table 1's small values.
+	if r.Detail.Navg > 8 {
+		t.Errorf("Navg = %.2f implausibly dense", r.Detail.Navg)
+	}
+}
+
+// §6.4's conclusion: programming the crossbar dominates — GraphR's
+// logic (crossbar) energy per edge must dwarf HyVE's CMOS PU energy.
+func TestCrossbarDominatesEnergy(t *testing.T) {
+	w := testWorkload(t, "PR")
+	r := simulate(t, Default(), w)
+	logicShare := r.Report.Energy.Fraction(4 /* Logic */)
+	if logicShare < 0.5 {
+		t.Errorf("crossbar share = %.2f, expected programming to dominate", logicShare)
+	}
+	perEdge := float64(r.Report.Energy.Total()) / float64(r.Report.EdgesProcessed)
+	// ≥ 4 gangs × 3.91 nJ of programming per edge.
+	if perEdge < 4*3910 {
+		t.Errorf("per-edge energy %v pJ below the programming floor", perEdge)
+	}
+}
+
+// §7.4.3: HyVE beats GraphR on delay, energy, and EDP.
+func TestHyVEBeatsGraphR(t *testing.T) {
+	for _, name := range []string{"PR", "BFS", "CC", "SSSP", "SpMV"} {
+		w := testWorkload(t, name)
+		gr := simulate(t, Default(), w)
+		hv, err := core.Simulate(core.HyVE(), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr.Report.Time <= hv.Report.Time {
+			t.Errorf("%s: GraphR not slower (%v vs %v)", name, gr.Report.Time, hv.Report.Time)
+		}
+		if gr.Report.Energy.Total() <= hv.Report.Energy.Total() {
+			t.Errorf("%s: GraphR not more energy (%v vs %v)",
+				name, gr.Report.Energy.Total(), hv.Report.Energy.Total())
+		}
+		if gr.Report.EDP() <= hv.Report.EDP() {
+			t.Errorf("%s: GraphR not worse EDP", name)
+		}
+	}
+}
+
+// Non-MVM algorithms pay the row-by-row path (Eq. 12): more crossbar
+// reads per block than the single ganged MVM.
+func TestNonMVMCostsMore(t *testing.T) {
+	wMVM := testWorkload(t, "PR")
+	wRow := testWorkload(t, "CC")
+	// Equalize iteration counts so the per-iteration structure compares.
+	wMVM.Iterations = 5
+	wRow.Iterations = 5
+	mvm := simulate(t, Default(), wMVM)
+	row := simulate(t, Default(), wRow)
+	perIterMVM := float64(mvm.Report.Energy.Get(4)) / 5
+	perIterRow := float64(row.Report.Energy.Get(4)) / 5
+	if perIterRow <= perIterMVM {
+		t.Errorf("row-wise logic energy %.0f not above MVM %.0f", perIterRow, perIterMVM)
+	}
+}
+
+func TestParallelismSpeedsCompute(t *testing.T) {
+	w := testWorkload(t, "PR")
+	slow := Default()
+	slow.Parallel = 1
+	fast := Default()
+	fast.Parallel = 64
+	rs := simulate(t, slow, w)
+	rf := simulate(t, fast, w)
+	if rf.Detail.ComputeTime >= rs.Detail.ComputeTime {
+		t.Error("parallelism did not cut compute time")
+	}
+	if rf.Report.Time >= rs.Report.Time {
+		t.Error("parallelism did not cut total time")
+	}
+}
+
+func TestIterationOverride(t *testing.T) {
+	w := testWorkload(t, "BFS")
+	w.Iterations = 4
+	r := simulate(t, Default(), w)
+	if r.Report.Iterations != 4 {
+		t.Errorf("iterations = %d", r.Report.Iterations)
+	}
+	if want := int64(4) * int64(w.Graph.NumEdges()); r.Report.EdgesProcessed != want {
+		t.Errorf("edges = %d, want %d", r.Report.EdgesProcessed, want)
+	}
+}

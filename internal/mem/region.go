@@ -1,0 +1,79 @@
+// Package mem assembles device models into memory regions (multi-chip
+// edge and vertex memories sized to a workload) and implements the
+// bank-level power-gating (BPG) scheme of paper §4.1: non-volatile ReRAM
+// banks are powered down whenever the sequential edge stream moves on,
+// eliminating background power without data loss.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// Region is a memory region built from enough chips of one device to
+// hold a required capacity. Access costs are the device's (the chips
+// share a channel; capacity, background power, and bank counts scale
+// with the chip count).
+type Region struct {
+	Label string
+	Dev   device.Memory
+	Chips int
+}
+
+// NewRegion sizes a region: the minimum number of chips covering
+// capacityBytes (at least one — a region always has physical presence).
+func NewRegion(label string, dev device.Memory, capacityBytes int64) (*Region, error) {
+	return NewRankedRegion(label, dev, capacityBytes, 1)
+}
+
+// NewRankedRegion sizes a region in ranks of chipsPerRank devices: main
+// memory is not provisioned chip-by-chip — a 64-bit channel is populated
+// by a whole rank of x8 devices at once, and every device in the rank
+// burns background power whether the capacity is needed or not. This is
+// how the paper's DIMM-organized edge memory (and its background energy)
+// behaves.
+func NewRankedRegion(label string, dev device.Memory, capacityBytes int64, chipsPerRank int) (*Region, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("mem: nil device for region %q", label)
+	}
+	if capacityBytes < 0 {
+		return nil, fmt.Errorf("mem: negative capacity %d for region %q", capacityBytes, label)
+	}
+	if chipsPerRank < 1 {
+		return nil, fmt.Errorf("mem: non-positive rank width %d for region %q", chipsPerRank, label)
+	}
+	per := dev.CapacityBytes()
+	chips := int((capacityBytes + per - 1) / per)
+	if chips < 1 {
+		chips = 1
+	}
+	if rem := chips % chipsPerRank; rem != 0 {
+		chips += chipsPerRank - rem
+	}
+	return &Region{Label: label, Dev: dev, Chips: chips}, nil
+}
+
+// CapacityBytes is the region's total installed capacity.
+func (r *Region) CapacityBytes() int64 { return int64(r.Chips) * r.Dev.CapacityBytes() }
+
+// Background is the un-gated background power of every installed chip.
+func (r *Region) Background() units.Power {
+	return units.Power(float64(r.Dev.Background()) * float64(r.Chips))
+}
+
+// Read proxies the device's per-line read cost.
+func (r *Region) Read(sequential bool) device.Cost { return r.Dev.Read(sequential) }
+
+// Write proxies the device's per-line write cost.
+func (r *Region) Write(sequential bool) device.Cost { return r.Dev.Write(sequential) }
+
+// LineBytes proxies the device granularity.
+func (r *Region) LineBytes() int { return r.Dev.LineBytes() }
+
+// SweepCost is the pipelined cost of streaming the given bytes through
+// the region.
+func (r *Region) SweepCost(bytes int64, sequential, write bool) device.Cost {
+	return device.Sweep(r.Dev, bytes, sequential, write)
+}

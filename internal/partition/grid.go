@@ -1,0 +1,201 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Grid is the interval-block partitioned form of a graph: all edges
+// grouped by block, stored contiguously (block after block) exactly as
+// HyVE lays them out in the edge memory (§3.4: "Several blocks are
+// sequentially stored in the edge memory"). Edge order inside a block and
+// block-major order follow the build; the flattened edge array index
+// multiplied by graph.EdgeBytes is the edge-memory byte address.
+type Grid struct {
+	Assigner Assigner
+	// edges holds every edge, grouped by block in row-major block order
+	// (block id = x·P + y).
+	edges   []graph.Edge
+	weights []float32
+	// offsets[b]..offsets[b+1] delimit block b in edges.
+	offsets []int64
+}
+
+// Build partitions g under the assigner using a two-pass counting sort:
+// O(|E|) time, no per-block allocation. This is the production layout
+// path used by the simulator.
+func Build(g *graph.Graph, a Assigner) (*Grid, error) {
+	if g.NumVertices != a.NumVertices() {
+		return nil, fmt.Errorf("partition: assigner built for %d vertices, graph has %d",
+			a.NumVertices(), g.NumVertices)
+	}
+	p := a.P()
+	nb := p * p
+	offsets := make([]int64, nb+1)
+	for _, e := range g.Edges {
+		offsets[blockID(a, e)+1]++
+	}
+	for b := 0; b < nb; b++ {
+		offsets[b+1] += offsets[b]
+	}
+	edges := make([]graph.Edge, len(g.Edges))
+	var weights []float32
+	if g.Weights != nil {
+		weights = make([]float32, len(g.Edges))
+	}
+	next := make([]int64, nb)
+	copy(next, offsets[:nb])
+	for i, e := range g.Edges {
+		b := blockID(a, e)
+		at := next[b]
+		edges[at] = e
+		if weights != nil {
+			weights[at] = g.Weights[i]
+		}
+		next[b]++
+	}
+	return &Grid{Assigner: a, edges: edges, weights: weights, offsets: offsets}, nil
+}
+
+// BuildBuckets partitions g with per-block dynamic arrays (append-based),
+// the implementation style whose addressing overhead the paper measures
+// in Fig. 12: it is equivalent in output to Build but its cost grows with
+// the number of blocks. Exposed so the preprocessing experiments can
+// measure that effect on real executions.
+func BuildBuckets(g *graph.Graph, a Assigner) (*Grid, error) {
+	if g.NumVertices != a.NumVertices() {
+		return nil, fmt.Errorf("partition: assigner built for %d vertices, graph has %d",
+			a.NumVertices(), g.NumVertices)
+	}
+	p := a.P()
+	nb := p * p
+	buckets := make([][]graph.Edge, nb)
+	var wbuckets [][]float32
+	if g.Weights != nil {
+		wbuckets = make([][]float32, nb)
+	}
+	for i, e := range g.Edges {
+		b := blockID(a, e)
+		buckets[b] = append(buckets[b], e)
+		if wbuckets != nil {
+			wbuckets[b] = append(wbuckets[b], g.Weights[i])
+		}
+	}
+	gr := &Grid{
+		Assigner: a,
+		edges:    make([]graph.Edge, 0, len(g.Edges)),
+		offsets:  make([]int64, nb+1),
+	}
+	if g.Weights != nil {
+		gr.weights = make([]float32, 0, len(g.Edges))
+	}
+	for b := 0; b < nb; b++ {
+		gr.edges = append(gr.edges, buckets[b]...)
+		if wbuckets != nil {
+			gr.weights = append(gr.weights, wbuckets[b]...)
+		}
+		gr.offsets[b+1] = int64(len(gr.edges))
+	}
+	return gr, nil
+}
+
+func blockID(a Assigner, e graph.Edge) int {
+	return a.IntervalOf(e.Src)*a.P() + a.IntervalOf(e.Dst)
+}
+
+// P returns the number of intervals per dimension.
+func (gr *Grid) P() int { return gr.Assigner.P() }
+
+// NumEdges returns the total edge count.
+func (gr *Grid) NumEdges() int { return len(gr.edges) }
+
+// Block returns the edges of block (x, y): source interval x, destination
+// interval y. The slice aliases grid storage and must not be modified.
+func (gr *Grid) Block(x, y int) []graph.Edge {
+	b := x*gr.P() + y
+	return gr.edges[gr.offsets[b]:gr.offsets[b+1]]
+}
+
+// BlockWeights returns the weights of block (x, y), or nil for an
+// unweighted grid.
+func (gr *Grid) BlockWeights(x, y int) []float32 {
+	if gr.weights == nil {
+		return nil
+	}
+	b := x*gr.P() + y
+	return gr.weights[gr.offsets[b]:gr.offsets[b+1]]
+}
+
+// BlockLen returns the number of edges in block (x, y).
+func (gr *Grid) BlockLen(x, y int) int {
+	b := x*gr.P() + y
+	return int(gr.offsets[b+1] - gr.offsets[b])
+}
+
+// BlockOffset returns the index of block (x, y)'s first edge within the
+// flattened edge array; ×graph.EdgeBytes gives the edge-memory address.
+func (gr *Grid) BlockOffset(x, y int) int64 {
+	return gr.offsets[x*gr.P()+y]
+}
+
+// NonEmpty counts blocks with at least one edge.
+func (gr *Grid) NonEmpty() int {
+	n := 0
+	for b := 0; b < gr.P()*gr.P(); b++ {
+		if gr.offsets[b+1] > gr.offsets[b] {
+			n++
+		}
+	}
+	return n
+}
+
+// IntervalEdgeCounts returns, per destination interval, the number of
+// edges that update it — the per-PU workload whose balance the hash
+// assignment improves.
+func (gr *Grid) IntervalEdgeCounts() []int64 {
+	p := gr.P()
+	counts := make([]int64, p)
+	for x := 0; x < p; x++ {
+		for y := 0; y < p; y++ {
+			counts[y] += int64(gr.BlockLen(x, y))
+		}
+	}
+	return counts
+}
+
+// Occupancy summarizes block occupancy for a virtual grid with fixed
+// interval width (in vertices) without materializing the grid. It is the
+// measurement behind Table 1: GraphR processes the graph in 8×8-vertex
+// blocks, so Navg = |E| / non-empty blocks with intervalVerts = 8.
+type Occupancy struct {
+	IntervalVerts  int
+	NonEmpty       int64
+	TotalEdges     int64
+	AvgEdgesPerBlk float64 // the paper's Navg
+	MaxEdgesPerBlk int64
+}
+
+// ComputeOccupancy scans g once, hashing block coordinates.
+func ComputeOccupancy(g *graph.Graph, intervalVerts int) (Occupancy, error) {
+	if intervalVerts <= 0 {
+		return Occupancy{}, fmt.Errorf("partition: non-positive interval width %d", intervalVerts)
+	}
+	counts := make(map[uint64]int64, len(g.Edges)/2+1)
+	for _, e := range g.Edges {
+		bx := uint64(e.Src) / uint64(intervalVerts)
+		by := uint64(e.Dst) / uint64(intervalVerts)
+		counts[bx<<32|by]++
+	}
+	occ := Occupancy{IntervalVerts: intervalVerts, TotalEdges: int64(len(g.Edges))}
+	occ.NonEmpty = int64(len(counts))
+	for _, c := range counts {
+		if c > occ.MaxEdgesPerBlk {
+			occ.MaxEdgesPerBlk = c
+		}
+	}
+	if occ.NonEmpty > 0 {
+		occ.AvgEdgesPerBlk = float64(occ.TotalEdges) / float64(occ.NonEmpty)
+	}
+	return occ, nil
+}

@@ -1,0 +1,161 @@
+// Package partition implements the interval-block (grid) partitioning at
+// the heart of HyVE's data layout (paper §2.1, Fig. 1): vertices are
+// divided into P intervals and edges into P² blocks, where block B(x,y)
+// holds the edges whose source lies in interval x and destination in
+// interval y. It also provides the hash-based interval assignment the
+// paper borrows from ForeGraph/GraphH for load balance, block-occupancy
+// statistics (Table 1), and the capacity math that picks P from the
+// on-chip SRAM size.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Assigner maps vertices to intervals. Implementations must form a
+// partition: every vertex belongs to exactly one interval, and
+// IndexWithin gives its dense position inside that interval (the on-chip
+// vertex memory address).
+type Assigner interface {
+	// P returns the number of intervals.
+	P() int
+	// NumVertices returns the size of the vertex universe.
+	NumVertices() int
+	// IntervalOf returns the interval of v, in [0, P).
+	IntervalOf(v graph.VertexID) int
+	// IndexWithin returns v's dense index inside its interval.
+	IndexWithin(v graph.VertexID) int
+	// IntervalLen returns the number of vertices in interval i.
+	IntervalLen(i int) int
+	// VertexAt is the inverse of (IntervalOf, IndexWithin).
+	VertexAt(interval, index int) graph.VertexID
+}
+
+// Contiguous assigns interval i the index range
+// [i·ceil(V/P), (i+1)·ceil(V/P)): the straightforward "partitioned
+// according to indices" scheme of §2.1. Natural-graph skew can unbalance
+// it, which is exactly why the paper adopts hashing; both are provided so
+// the imbalance is measurable.
+type Contiguous struct {
+	numVertices, p, span int
+}
+
+// NewContiguous builds a contiguous assigner with p intervals.
+func NewContiguous(numVertices, p int) (*Contiguous, error) {
+	if err := checkPartitionArgs(numVertices, p); err != nil {
+		return nil, err
+	}
+	span := (numVertices + p - 1) / p
+	return &Contiguous{numVertices: numVertices, p: p, span: span}, nil
+}
+
+// P implements Assigner.
+func (c *Contiguous) P() int { return c.p }
+
+// NumVertices implements Assigner.
+func (c *Contiguous) NumVertices() int { return c.numVertices }
+
+// IntervalOf implements Assigner.
+func (c *Contiguous) IntervalOf(v graph.VertexID) int { return int(v) / c.span }
+
+// IndexWithin implements Assigner.
+func (c *Contiguous) IndexWithin(v graph.VertexID) int { return int(v) % c.span }
+
+// IntervalLen implements Assigner.
+func (c *Contiguous) IntervalLen(i int) int {
+	lo := i * c.span
+	hi := lo + c.span
+	if hi > c.numVertices {
+		hi = c.numVertices
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// VertexAt implements Assigner.
+func (c *Contiguous) VertexAt(interval, index int) graph.VertexID {
+	return graph.VertexID(interval*c.span + index)
+}
+
+// Hashed assigns vertex v to interval v mod P, the ForeGraph/GraphH-style
+// balanced assignment the paper uses "to ensure the balance of workloads
+// among processing units" (§4.3). Striding spreads consecutive vertices —
+// and in particular the low-index hubs of natural and R-MAT graphs —
+// across intervals, while v/P stays a dense on-chip address.
+type Hashed struct {
+	numVertices, p int
+}
+
+// NewHashed builds a hashed (strided) assigner with p intervals.
+func NewHashed(numVertices, p int) (*Hashed, error) {
+	if err := checkPartitionArgs(numVertices, p); err != nil {
+		return nil, err
+	}
+	return &Hashed{numVertices: numVertices, p: p}, nil
+}
+
+// P implements Assigner.
+func (h *Hashed) P() int { return h.p }
+
+// NumVertices implements Assigner.
+func (h *Hashed) NumVertices() int { return h.numVertices }
+
+// IntervalOf implements Assigner.
+func (h *Hashed) IntervalOf(v graph.VertexID) int { return int(v) % h.p }
+
+// IndexWithin implements Assigner.
+func (h *Hashed) IndexWithin(v graph.VertexID) int { return int(v) / h.p }
+
+// IntervalLen implements Assigner: interval i holds the vertex ids
+// ≡ i (mod p) below numVertices.
+func (h *Hashed) IntervalLen(i int) int {
+	n, p := h.numVertices, h.p
+	return (n - i + p - 1) / p
+}
+
+// VertexAt implements Assigner.
+func (h *Hashed) VertexAt(interval, index int) graph.VertexID {
+	return graph.VertexID(index*h.p + interval)
+}
+
+func checkPartitionArgs(numVertices, p int) error {
+	if numVertices <= 0 {
+		return fmt.Errorf("partition: non-positive vertex count %d", numVertices)
+	}
+	if p <= 0 {
+		return fmt.Errorf("partition: non-positive interval count %d", p)
+	}
+	if p > numVertices {
+		return fmt.Errorf("partition: more intervals (%d) than vertices (%d)", p, numVertices)
+	}
+	return nil
+}
+
+// ChooseP returns the number of intervals needed so one interval's vertex
+// values fit in each on-chip vertex memory section, rounded up to a
+// multiple of the PU count N (Algorithm 2 requires P ≡ 0 mod N).
+//
+// Per §3.2 the on-chip vertex memory of a PU holds a source section and a
+// destination section, so each section gets sramBytes/2.
+func ChooseP(numVertices int64, sramBytes int, valueBytes int, numPUs int) (int, error) {
+	if numVertices <= 0 || sramBytes <= 0 || valueBytes <= 0 || numPUs <= 0 {
+		return 0, fmt.Errorf("partition: invalid ChooseP args (V=%d sram=%d value=%d N=%d)",
+			numVertices, sramBytes, valueBytes, numPUs)
+	}
+	sectionVerts := int64(sramBytes / 2 / valueBytes)
+	if sectionVerts == 0 {
+		return 0, fmt.Errorf("partition: SRAM section smaller than one vertex value")
+	}
+	p := int((numVertices + sectionVerts - 1) / sectionVerts)
+	if p < numPUs {
+		p = numPUs
+	}
+	if rem := p % numPUs; rem != 0 {
+		p += numPUs - rem
+	}
+	return p, nil
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New(0)
+	var order []int
+	e.At(30*units.Nanosecond, func() { order = append(order, 3) })
+	e.At(10*units.Nanosecond, func() { order = append(order, 1) })
+	e.At(20*units.Nanosecond, func() { order = append(order, 2) })
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 30*units.Nanosecond {
+		t.Errorf("final time = %v", end)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Fired() != 3 {
+		t.Errorf("fired = %d", e.Fired())
+	}
+}
+
+func TestSimultaneousEventsAreFIFO(t *testing.T) {
+	e := New(0)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*units.Nanosecond, func() { order = append(order, i) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := New(0)
+	hops := 0
+	var hop func()
+	hop = func() {
+		hops++
+		if hops < 5 {
+			e.After(units.Nanosecond, hop)
+		}
+	}
+	e.At(0, hop)
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops != 5 || end != 4*units.Nanosecond {
+		t.Errorf("hops=%d end=%v", hops, end)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(0)
+	e.At(10*units.Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*units.Nanosecond, func() {})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Negative delay likewise.
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-units.Nanosecond, func() {})
+}
+
+func TestEventBudget(t *testing.T) {
+	e := New(3)
+	var loop func()
+	loop = func() { e.After(units.Nanosecond, loop) }
+	e.At(0, loop)
+	if _, err := e.Run(); err == nil {
+		t.Error("runaway simulation not stopped")
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := New(0)
+	r := NewResource(e)
+	s1, e1 := r.Acquire(10 * units.Nanosecond)
+	s2, e2 := r.Acquire(5 * units.Nanosecond)
+	if s1 != 0 || e1 != 10*units.Nanosecond {
+		t.Errorf("first acquire (%v,%v)", s1, e1)
+	}
+	if s2 != 10*units.Nanosecond || e2 != 15*units.Nanosecond {
+		t.Errorf("second acquire queued wrong: (%v,%v)", s2, e2)
+	}
+	if r.BusyTime != 15*units.Nanosecond || r.Served != 2 {
+		t.Errorf("stats: busy=%v served=%d", r.BusyTime, r.Served)
+	}
+}
+
+func TestResourceAcquireAt(t *testing.T) {
+	e := New(0)
+	r := NewResource(e)
+	// Earliest in the future delays the start.
+	s, end := r.AcquireAt(7*units.Nanosecond, 2*units.Nanosecond)
+	if s != 7*units.Nanosecond || end != 9*units.Nanosecond {
+		t.Errorf("AcquireAt = (%v,%v)", s, end)
+	}
+	// But the resource's own availability still dominates.
+	s2, _ := r.AcquireAt(time0(), 1*units.Nanosecond)
+	if s2 != 9*units.Nanosecond {
+		t.Errorf("second AcquireAt start = %v, want 9ns", s2)
+	}
+	if r.FreeAt() != 10*units.Nanosecond {
+		t.Errorf("FreeAt = %v", r.FreeAt())
+	}
+}
+
+func time0() units.Time { return 0 }
+
+func TestNegativeServicePanics(t *testing.T) {
+	e := New(0)
+	r := NewResource(e)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative service did not panic")
+		}
+	}()
+	r.Acquire(-units.Nanosecond)
+}

@@ -1,0 +1,198 @@
+// Package units provides the physical quantities used throughout the
+// simulator: time, energy, power, and the derived figures of merit used
+// by the HyVE paper (energy-delay product and MTEPS/W).
+//
+// All quantities are thin float64 wrappers with explicit base units
+// (picoseconds, picojoules, milliwatts) so that device parameters taken
+// verbatim from the paper — pJ-scale access energies, ps-scale periods —
+// are representable without conversion noise, while whole-benchmark
+// results (seconds, joules) remain in range.
+package units
+
+import "fmt"
+
+// Time is a duration in picoseconds.
+type Time float64
+
+// Common time units expressed in the base unit (picoseconds).
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1e3
+	Microsecond Time = 1e6
+	Millisecond Time = 1e9
+	Second      Time = 1e12
+)
+
+// Picoseconds returns t as a raw float64 count of picoseconds.
+func (t Time) Picoseconds() float64 { return float64(t) }
+
+// Nanoseconds returns t in nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds returns t in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an auto-selected SI prefix.
+func (t Time) String() string {
+	abs := t
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0s"
+	case abs < Nanosecond:
+		return fmt.Sprintf("%.3gps", float64(t))
+	case abs < Microsecond:
+		return fmt.Sprintf("%.4gns", float64(t)/float64(Nanosecond))
+	case abs < Millisecond:
+		return fmt.Sprintf("%.4gµs", float64(t)/float64(Microsecond))
+	case abs < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", float64(t)/float64(Second))
+	}
+}
+
+// Energy is an amount of energy in picojoules.
+type Energy float64
+
+// Common energy units expressed in the base unit (picojoules).
+const (
+	Picojoule  Energy = 1
+	Nanojoule  Energy = 1e3
+	Microjoule Energy = 1e6
+	Millijoule Energy = 1e9
+	Joule      Energy = 1e12
+)
+
+// Picojoules returns e as a raw float64 count of picojoules.
+func (e Energy) Picojoules() float64 { return float64(e) }
+
+// Joules returns e in joules.
+func (e Energy) Joules() float64 { return float64(e) / float64(Joule) }
+
+// String formats the energy with an auto-selected SI prefix.
+func (e Energy) String() string {
+	abs := e
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0J"
+	case abs < Nanojoule:
+		return fmt.Sprintf("%.4gpJ", float64(e))
+	case abs < Microjoule:
+		return fmt.Sprintf("%.4gnJ", float64(e)/float64(Nanojoule))
+	case abs < Millijoule:
+		return fmt.Sprintf("%.4gµJ", float64(e)/float64(Microjoule))
+	case abs < Joule:
+		return fmt.Sprintf("%.4gmJ", float64(e)/float64(Millijoule))
+	default:
+		return fmt.Sprintf("%.4gJ", float64(e)/float64(Joule))
+	}
+}
+
+// Power is a rate of energy use in milliwatts.
+// 1 mW == 1 pJ / ns, which makes leakage integration exact in the
+// simulator's base units: Energy = Power × Time.
+type Power float64
+
+// Common power units expressed in the base unit (milliwatts).
+const (
+	Nanowatt  Power = 1e-6
+	Microwatt Power = 1e-3
+	Milliwatt Power = 1
+	Watt      Power = 1e3
+)
+
+// Milliwatts returns p as a raw float64 count of milliwatts.
+func (p Power) Milliwatts() float64 { return float64(p) }
+
+// Watts returns p in watts.
+func (p Power) Watts() float64 { return float64(p) / float64(Watt) }
+
+// String formats the power with an auto-selected SI prefix.
+func (p Power) String() string {
+	abs := p
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs == 0:
+		return "0W"
+	case abs < Microwatt:
+		return fmt.Sprintf("%.4gnW", float64(p)/float64(Nanowatt))
+	case abs < Milliwatt:
+		return fmt.Sprintf("%.4gµW", float64(p)/float64(Microwatt))
+	case abs < Watt:
+		return fmt.Sprintf("%.4gmW", float64(p))
+	default:
+		return fmt.Sprintf("%.4gW", float64(p)/float64(Watt))
+	}
+}
+
+// Times scales the time by a dimensionless count.
+func (t Time) Times(n float64) Time { return Time(float64(t) * n) }
+
+// Times scales the energy by a dimensionless count.
+func (e Energy) Times(n float64) Energy { return Energy(float64(e) * n) }
+
+// Over integrates the power over a duration, returning energy.
+// Power is in mW (pJ/ns) and time in ps, hence the 1e-3 factor.
+func (p Power) Over(t Time) Energy {
+	return Energy(float64(p) * float64(t) * 1e-3)
+}
+
+// PowerOver returns the average power of spending e over t.
+// The zero-duration case returns 0 rather than infinity so that empty
+// phases fold harmlessly into aggregates.
+func PowerOver(e Energy, t Time) Power {
+	if t <= 0 {
+		return 0
+	}
+	return Power(float64(e) / float64(t) * 1e3)
+}
+
+// EDP is an energy-delay product. Base unit: pJ·ps.
+type EDP float64
+
+// EDPOf returns the energy-delay product of an (energy, time) pair.
+func EDPOf(e Energy, t Time) EDP { return EDP(float64(e) * float64(t)) }
+
+// JouleSeconds returns the EDP in J·s.
+func (x EDP) JouleSeconds() float64 { return float64(x) * 1e-24 }
+
+// MTEPSPerWatt is the paper's figure of merit: millions of traversed
+// edges per second per watt. Dimensionally this reduces to traversed
+// edges per microjoule:
+//
+//	MTEPS/W = (edges / s / 1e6) / (J / s) = edges / (1e6 · J) = edges / µJ
+func MTEPSPerWatt(edges float64, e Energy) float64 {
+	if e <= 0 {
+		return 0
+	}
+	return edges / (e.Joules() * 1e6)
+}
+
+// MTEPS returns millions of traversed edges per second.
+func MTEPS(edges float64, t Time) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return edges / t.Seconds() / 1e6
+}
+
+// MaxTime returns the largest of the given times; the pipeline-stage
+// bound of the paper's Eq. (1) is a max over concurrently running
+// stages.
+func MaxTime(ts ...Time) Time {
+	var m Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

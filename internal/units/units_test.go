@@ -1,0 +1,146 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		in      Time
+		ns, sec float64
+	}{
+		{0, 0, 0},
+		{Nanosecond, 1, 1e-9},
+		{1500 * Picosecond, 1.5, 1.5e-9},
+		{Second, 1e9, 1},
+		{2 * Millisecond, 2e6, 2e-3},
+	}
+	for _, c := range cases {
+		if got := c.in.Nanoseconds(); !almostEq(got, c.ns, 1e-12) {
+			t.Errorf("%v.Nanoseconds() = %v, want %v", c.in, got, c.ns)
+		}
+		if got := c.in.Seconds(); !almostEq(got, c.sec, 1e-12) {
+			t.Errorf("%v.Seconds() = %v, want %v", c.in, got, c.sec)
+		}
+	}
+}
+
+func TestEnergyConversions(t *testing.T) {
+	if got := (3 * Nanojoule).Joules(); !almostEq(got, 3e-9, 1e-12) {
+		t.Errorf("3nJ in joules = %v", got)
+	}
+	if got := Joule.Picojoules(); got != 1e12 {
+		t.Errorf("1J in pJ = %v", got)
+	}
+}
+
+func TestPowerOverIntegration(t *testing.T) {
+	// 1 mW over 1 ns is 1 pJ by construction of the base units.
+	if got := Milliwatt.Over(Nanosecond); !almostEq(got.Picojoules(), 1, 1e-12) {
+		t.Errorf("1mW over 1ns = %v pJ, want 1", got.Picojoules())
+	}
+	// 2 W over 3 ms = 6 mJ.
+	got := (2 * Watt).Over(3 * Millisecond)
+	if !almostEq(got.Joules(), 6e-3, 1e-12) {
+		t.Errorf("2W over 3ms = %v J, want 6e-3", got.Joules())
+	}
+}
+
+func TestPowerOverRoundTrip(t *testing.T) {
+	f := func(mw, ns float64) bool {
+		p := Power(math.Abs(math.Mod(mw, 1e6)))
+		d := Time(math.Abs(math.Mod(ns, 1e9)))*Picosecond + Picosecond
+		e := p.Over(d)
+		back := PowerOver(e, d)
+		return almostEq(float64(back), float64(p), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerOverZeroDuration(t *testing.T) {
+	if got := PowerOver(5*Joule, 0); got != 0 {
+		t.Errorf("PowerOver(_, 0) = %v, want 0", got)
+	}
+}
+
+func TestMTEPSPerWatt(t *testing.T) {
+	// 1e6 edges at 1 J: 1e6 edges/J = 1 edge/µJ = 1 MTEPS/W.
+	if got := MTEPSPerWatt(1e6, Joule); !almostEq(got, 1, 1e-12) {
+		t.Errorf("MTEPSPerWatt(1e6 edges, 1J) = %v, want 1", got)
+	}
+	// The paper's ~1000 MTEPS/W corresponds to 1 nJ/edge.
+	if got := MTEPSPerWatt(1, Nanojoule); !almostEq(got, 1000, 1e-12) {
+		t.Errorf("MTEPSPerWatt(1 edge, 1nJ) = %v, want 1000", got)
+	}
+	if got := MTEPSPerWatt(10, 0); got != 0 {
+		t.Errorf("MTEPSPerWatt with zero energy = %v, want 0", got)
+	}
+}
+
+func TestMTEPS(t *testing.T) {
+	if got := MTEPS(2e6, Second); !almostEq(got, 2, 1e-12) {
+		t.Errorf("MTEPS(2e6, 1s) = %v, want 2", got)
+	}
+	if got := MTEPS(5, 0); got != 0 {
+		t.Errorf("MTEPS with zero time = %v, want 0", got)
+	}
+}
+
+func TestEDP(t *testing.T) {
+	x := EDPOf(2*Joule, 3*Second)
+	if !almostEq(x.JouleSeconds(), 6, 1e-12) {
+		t.Errorf("EDP(2J,3s) = %v J·s, want 6", x.JouleSeconds())
+	}
+}
+
+func TestMaxTime(t *testing.T) {
+	if got := MaxTime(); got != 0 {
+		t.Errorf("MaxTime() = %v, want 0", got)
+	}
+	if got := MaxTime(Nanosecond, 3*Nanosecond, 2*Nanosecond); got != 3*Nanosecond {
+		t.Errorf("MaxTime = %v, want 3ns", got)
+	}
+}
+
+func TestMaxTimeIsMax(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		ta, tb, tc := Time(math.Abs(a)), Time(math.Abs(b)), Time(math.Abs(c))
+		m := MaxTime(ta, tb, tc)
+		return m >= ta && m >= tb && m >= tc && (m == ta || m == tb || m == tc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{(1500 * Picosecond).String(), "1.5ns"},
+		{Time(0).String(), "0s"},
+		{(2 * Microsecond).String(), "2µs"},
+		{(500 * Picojoule).String(), "500pJ"},
+		{(2500 * Nanojoule).String(), "2.5µJ"},
+		{Energy(0).String(), "0J"},
+		{(250 * Microwatt).String(), "250µW"},
+		{(1500 * Milliwatt).String(), "1.5W"},
+		{Power(0).String(), "0W"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
