@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet race bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race suite is the repository's concurrency gate: the experiment
+# harness, both CLIs, and the functional runner all execute under the
+# race detector, including the concurrent-runner hammer tests in
+# internal/experiments/race_test.go.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+check: vet build test race

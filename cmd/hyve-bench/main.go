@@ -3,17 +3,26 @@
 //
 // Usage:
 //
-//	hyve-bench                 # run everything (full datasets)
+//	hyve-bench                 # run everything (full datasets, parallel)
 //	hyve-bench -quick          # small datasets, reduced sweeps
 //	hyve-bench -run fig16      # one artifact
 //	hyve-bench -list           # enumerate artifacts
+//	hyve-bench -parallel 1     # fully serial (reference behaviour)
+//
+// With more than one worker the simulated experiments run concurrently
+// (and fan their own points across the same pool), while the measured
+// experiments — preprocessing speed, dynamic-update throughput — run
+// one at a time afterwards with the machine to themselves, so their
+// wall-clock numbers are taken on an otherwise idle process exactly as
+// in a serial run. Output is buffered per experiment and emitted in
+// paper order, so the artifact bytes are identical at any -parallel
+// value; only the per-experiment timing annotations vary run to run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/experiments"
 )
@@ -23,6 +32,7 @@ func main() {
 		run   = flag.String("run", "", "run a single experiment by id (e.g. fig16, table4)")
 		quick = flag.Bool("quick", false, "reduced datasets and sweeps")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
+		par   = flag.Int("parallel", 0, "worker count for simulation points and concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -33,7 +43,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick}
+	opt := experiments.Options{Quick: *quick, Parallel: *par}
 	todo := experiments.All()
 	if *run != "" {
 		e, err := experiments.ByID(*run)
@@ -44,16 +54,8 @@ func main() {
 		todo = []experiments.Experiment{e}
 	}
 
-	for i, e := range todo {
-		if i > 0 {
-			fmt.Println()
-		}
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		start := time.Now()
-		if err := e.Run(os.Stdout, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Printf("(%s in %v)\n", e.ID, time.Since(start).Round(time.Millisecond))
+	if err := runAll(os.Stdout, todo, opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+)
+
+// runAll executes every experiment and writes the artifacts to w in the
+// given (paper) order. A serial run streams each experiment straight to
+// w; with more than one worker the simulated experiments run
+// concurrently into per-experiment buffers, the measured ones run
+// serially afterwards on an otherwise idle process, and everything is
+// emitted in order once complete. Both paths produce the same artifact
+// bytes. The parallel path closes with an aggregate-vs-wall-clock
+// speedup line.
+func runAll(w io.Writer, todo []experiments.Experiment, opt experiments.Options) error {
+	workers := parallel.Workers(opt.Parallel)
+	if opt.Parallel < 0 {
+		workers = 1
+	}
+	start := time.Now()
+	elapsed := make([]time.Duration, len(todo))
+
+	runOne := func(i int, out io.Writer) error {
+		t0 := time.Now()
+		if err := todo[i].Run(out, opt); err != nil {
+			return fmt.Errorf("%s failed: %w", todo[i].ID, err)
+		}
+		elapsed[i] = time.Since(t0)
+		return nil
+	}
+	header := func(i int) {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "=== %s: %s ===\n", todo[i].ID, todo[i].Title)
+	}
+	footer := func(i int) {
+		fmt.Fprintf(w, "(%s in %v)\n", todo[i].ID, elapsed[i].Round(time.Millisecond))
+	}
+
+	if workers <= 1 || len(todo) == 1 {
+		for i := range todo {
+			header(i)
+			if err := runOne(i, w); err != nil {
+				return err
+			}
+			footer(i)
+		}
+		return nil
+	}
+
+	// Phase 1: simulated experiments across the pool, buffered.
+	bufs := make([]bytes.Buffer, len(todo))
+	var simulated []int
+	for i, e := range todo {
+		if !e.Measured {
+			simulated = append(simulated, i)
+		}
+	}
+	err := parallel.ForEach(workers, len(simulated), func(k int) error {
+		i := simulated[k]
+		return runOne(i, &bufs[i])
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: measured experiments, one at a time, machine to themselves.
+	for i, e := range todo {
+		if e.Measured {
+			if err := runOne(i, &bufs[i]); err != nil {
+				return err
+			}
+		}
+	}
+
+	var aggregate time.Duration
+	for i := range todo {
+		header(i)
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+		footer(i)
+		aggregate += elapsed[i]
+	}
+
+	wall := time.Since(start)
+	_, err = fmt.Fprintf(w, "\nwall clock %v for %v of experiment time, %d workers (%.2fx speedup)\n",
+		wall.Round(time.Millisecond), aggregate.Round(time.Millisecond), workers,
+		aggregate.Seconds()/wall.Seconds())
+	return err
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// fakeSuite builds a registry-like slice whose runners write fixed
+// bodies, with one Measured entry in the middle.
+func fakeSuite() []experiments.Experiment {
+	mk := func(id string, measured bool) experiments.Experiment {
+		return experiments.Experiment{
+			ID:    id,
+			Title: "title " + id,
+			Run: func(w io.Writer, opt experiments.Options) error {
+				_, err := fmt.Fprintf(w, "body of %s\nsecond line\n", id)
+				return err
+			},
+			Measured: measured,
+		}
+	}
+	return []experiments.Experiment{
+		mk("alpha", false), mk("beta", true), mk("gamma", false), mk("delta", false),
+	}
+}
+
+// artifactLines strips the run-to-run varying annotations — per-
+// experiment "(id in 12ms)" footers and the closing wall-clock line —
+// leaving only the deterministic artifact bytes.
+func artifactLines(out string) string {
+	var keep []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "(") || strings.HasPrefix(l, "wall clock ") {
+			continue
+		}
+		keep = append(keep, l)
+	}
+	return strings.TrimRight(strings.Join(keep, "\n"), "\n")
+}
+
+func TestRunAllOrderAndDeterminism(t *testing.T) {
+	suite := fakeSuite()
+	var serial, par bytes.Buffer
+	if err := runAll(&serial, suite, experiments.Options{Parallel: -1}); err != nil {
+		t.Fatalf("serial runAll: %v", err)
+	}
+	if err := runAll(&par, suite, experiments.Options{Parallel: 8}); err != nil {
+		t.Fatalf("parallel runAll: %v", err)
+	}
+	if got, want := artifactLines(par.String()), artifactLines(serial.String()); got != want {
+		t.Errorf("parallel artifact bytes differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	// Emission must follow registry order regardless of completion order.
+	out := par.String()
+	last := -1
+	for _, e := range suite {
+		at := strings.Index(out, "=== "+e.ID+":")
+		if at < 0 {
+			t.Fatalf("experiment %s missing from output", e.ID)
+		}
+		if at < last {
+			t.Errorf("experiment %s emitted out of order", e.ID)
+		}
+		last = at
+	}
+	if !strings.Contains(out, "speedup)") {
+		t.Errorf("parallel run missing speedup line:\n%s", out)
+	}
+	if strings.Contains(serial.String(), "speedup)") {
+		t.Errorf("serial run should not print a speedup line")
+	}
+}
+
+func TestRunAllPropagatesError(t *testing.T) {
+	suite := fakeSuite()
+	boom := errors.New("boom")
+	suite[2].Run = func(w io.Writer, opt experiments.Options) error { return boom }
+	for _, workers := range []int{-1, 8} {
+		err := runAll(io.Discard, suite, experiments.Options{Parallel: workers})
+		if err == nil || !errors.Is(err, boom) {
+			t.Errorf("Parallel=%d: want wrapped boom error, got %v", workers, err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "gamma") {
+			t.Errorf("Parallel=%d: error should name the failing experiment: %v", workers, err)
+		}
+	}
+}

@@ -1,18 +1,28 @@
-// Command hyve-sim runs a single architecture simulation: one dataset,
-// one algorithm, one memory-hierarchy configuration, and prints the
-// timing/energy report.
+// Command hyve-sim runs architecture simulations: one dataset/algorithm/
+// configuration point, or a comma-separated sweep over any of the three,
+// and prints the timing/energy report for each point.
 //
 // Usage:
 //
 //	hyve-sim -dataset YT -algo PR -config hyve-opt
 //	hyve-sim -dataset TW -algo BFS -config sd -sram 4
-//	hyve-sim -dataset LJ -algo SSSP -config graphr
+//	hyve-sim -dataset YT,WK,LJ -algo PR,BFS -config hyve-opt,sd
+//
+// A sweep (more than one point) fans the points across a worker pool
+// (-parallel, default GOMAXPROCS), buffers each point's report, and
+// emits them in sweep order — dataset-major, then algorithm, then
+// configuration — so the output is byte-identical at any worker count.
+// A single point prints exactly what it always did, no headers added.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/algo"
 	"repro/internal/core"
@@ -20,25 +30,97 @@ import (
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/graphr"
+	"repro/internal/parallel"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "YT", "dataset: YT, WK, AS, LJ, TW")
-		algon   = flag.String("algo", "PR", "algorithm: PR, BFS, CC, SSSP, SpMV")
-		config  = flag.String("config", "hyve-opt", "configuration: hyve, hyve-opt, sd, dram, reram, graphr, cpu, cpu-opt")
+		dataset = flag.String("dataset", "YT", "dataset (comma-separated to sweep): YT, WK, AS, LJ, TW")
+		algon   = flag.String("algo", "PR", "algorithm (comma-separated to sweep): PR, BFS, CC, SSSP, SpMV")
+		config  = flag.String("config", "hyve-opt", "configuration (comma-separated to sweep): hyve, hyve-opt, sd, dram, reram, graphr, cpu, cpu-opt")
 		sramMB  = flag.Int64("sram", 2, "per-PU on-chip vertex memory in MB (accelerator configs)")
 		verbose = flag.Bool("v", false, "print per-phase detail")
+		par     = flag.Int("parallel", 0, "worker count for sweep points (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	if err := runOne(*dataset, *algon, *config, *sramMB, *verbose); err != nil {
+	if err := runSweep(os.Stdout, splitList(*dataset), splitList(*algon), splitList(*config),
+		*sramMB, *verbose, *par); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func runOne(dataset, algon, config string, sramMB int64, verbose bool) error {
+// splitList parses a comma-separated flag value, dropping empty items so
+// "YT," and "YT" mean the same thing.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runSweep runs the cross product of datasets × algorithms × configs.
+// One point streams straight to w; a sweep computes every point into an
+// index-addressed buffer (fanned across the worker pool) and emits them
+// in order, closing with an aggregate-vs-wall-clock speedup line.
+func runSweep(w io.Writer, datasets, algos, configs []string, sramMB int64, verbose bool, par int) error {
+	if len(datasets) == 0 || len(algos) == 0 || len(configs) == 0 {
+		return fmt.Errorf("hyve-sim: -dataset, -algo, and -config must each name at least one value")
+	}
+	n := len(datasets) * len(algos) * len(configs)
+	if n == 1 {
+		return runOne(w, datasets[0], algos[0], configs[0], sramMB, verbose)
+	}
+
+	point := func(i int) (dataset, algon, config string) {
+		perDataset := len(algos) * len(configs)
+		return datasets[i/perDataset], algos[i/len(configs)%len(algos)], configs[i%len(configs)]
+	}
+
+	start := time.Now()
+	bufs := make([]bytes.Buffer, n)
+	elapsed := make([]time.Duration, n)
+	workers := parallel.Workers(par)
+	if par < 0 {
+		workers = 1
+	}
+	err := parallel.ForEach(workers, n, func(i int) error {
+		d, a, c := point(i)
+		t0 := time.Now()
+		if err := runOne(&bufs[i], d, a, c, sramMB, verbose); err != nil {
+			return fmt.Errorf("%s/%s/%s: %w", d, a, c, err)
+		}
+		elapsed[i] = time.Since(t0)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	var aggregate time.Duration
+	for i := 0; i < n; i++ {
+		d, a, c := point(i)
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "--- %s %s %s ---\n", d, a, c)
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+		aggregate += elapsed[i]
+	}
+	wall := time.Since(start)
+	_, err = fmt.Fprintf(w, "\n%d points: wall clock %v for %v of simulation time, %d workers (%.2fx speedup)\n",
+		n, wall.Round(time.Millisecond), aggregate.Round(time.Millisecond), workers,
+		aggregate.Seconds()/wall.Seconds())
+	return err
+}
+
+func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose bool) error {
 	d, err := graph.DatasetByName(dataset)
 	if err != nil {
 		return err
@@ -47,29 +129,29 @@ func runOne(dataset, algon, config string, sramMB int64, verbose bool) error {
 	if err != nil {
 		return err
 	}
-	w, err := core.WorkloadFor(d, p)
+	wl, err := core.WorkloadFor(d, p)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dataset %s (%s): %d vertices, %d edges (full scale %d/%d, 1/%d instance)\n",
-		d.Name, d.Long, w.Graph.NumVertices, w.Graph.NumEdges(), d.FullVertices, d.FullEdges, d.Scale)
+	fmt.Fprintf(w, "dataset %s (%s): %d vertices, %d edges (full scale %d/%d, 1/%d instance)\n",
+		d.Name, d.Long, wl.Graph.NumVertices, wl.Graph.NumEdges(), d.FullVertices, d.FullEdges, d.Scale)
 
 	var rep *energy.Report
 	var detail *core.Detail
 	switch config {
 	case "graphr":
-		r, err := graphr.Simulate(graphr.Default(), w)
+		r, err := graphr.Simulate(graphr.Default(), wl)
 		if err != nil {
 			return err
 		}
 		rep = &r.Report
-		fmt.Printf("GraphR: %d non-empty 8×8 blocks, Navg %.2f\n", r.Detail.NonEmptyBlocks, r.Detail.Navg)
+		fmt.Fprintf(w, "GraphR: %d non-empty 8×8 blocks, Navg %.2f\n", r.Detail.NonEmptyBlocks, r.Detail.Navg)
 	case "cpu":
-		if rep, err = cpusim.Simulate(cpusim.NXgraph(), w); err != nil {
+		if rep, err = cpusim.Simulate(cpusim.NXgraph(), wl); err != nil {
 			return err
 		}
 	case "cpu-opt":
-		if rep, err = cpusim.Simulate(cpusim.Galois(), w); err != nil {
+		if rep, err = cpusim.Simulate(cpusim.Galois(), wl); err != nil {
 			return err
 		}
 	default:
@@ -80,7 +162,7 @@ func runOne(dataset, algon, config string, sramMB int64, verbose bool) error {
 		if cfg.UseOnChipSRAM {
 			cfg.SRAMBytes = sramMB << 20
 		}
-		r, err := core.Simulate(cfg, w)
+		r, err := core.Simulate(cfg, wl)
 		if err != nil {
 			return err
 		}
@@ -88,24 +170,24 @@ func runOne(dataset, algon, config string, sramMB int64, verbose bool) error {
 		detail = &r.Detail
 	}
 
-	fmt.Printf("config:      %s\n", rep.Config)
-	fmt.Printf("iterations:  %d\n", rep.Iterations)
-	fmt.Printf("time:        %v\n", rep.Time)
-	fmt.Printf("energy:      %v\n", rep.Energy.Total())
-	fmt.Printf("avg power:   %v\n", rep.AvgPower())
-	fmt.Printf("throughput:  %.1f MTEPS\n", rep.MTEPS())
-	fmt.Printf("efficiency:  %.1f MTEPS/W\n", rep.MTEPSPerWatt())
-	fmt.Printf("breakdown:   %v\n", &rep.Energy)
+	fmt.Fprintf(w, "config:      %s\n", rep.Config)
+	fmt.Fprintf(w, "iterations:  %d\n", rep.Iterations)
+	fmt.Fprintf(w, "time:        %v\n", rep.Time)
+	fmt.Fprintf(w, "energy:      %v\n", rep.Energy.Total())
+	fmt.Fprintf(w, "avg power:   %v\n", rep.AvgPower())
+	fmt.Fprintf(w, "throughput:  %.1f MTEPS\n", rep.MTEPS())
+	fmt.Fprintf(w, "efficiency:  %.1f MTEPS/W\n", rep.MTEPSPerWatt())
+	fmt.Fprintf(w, "breakdown:   %v\n", &rep.Energy)
 
 	if verbose && detail != nil {
-		fmt.Printf("\nP=%d intervals, %d×%d super blocks, %d iterations\n",
+		fmt.Fprintf(w, "\nP=%d intervals, %d×%d super blocks, %d iterations\n",
 			detail.P, detail.SuperBlockSide, detail.SuperBlockSide, detail.Iterations)
-		fmt.Printf("per-iteration: load %v, process %v, writeback %v, overhead %v\n",
+		fmt.Fprintf(w, "per-iteration: load %v, process %v, writeback %v, overhead %v\n",
 			detail.LoadTime, detail.ProcessTime, detail.WritebackTime, detail.OverheadTime)
-		fmt.Printf("off-chip vertex bytes/iter: src %d, dst %d, writeback %d\n",
+		fmt.Fprintf(w, "off-chip vertex bytes/iter: src %d, dst %d, writeback %d\n",
 			detail.SrcLoadBytes, detail.DstLoadBytes, detail.WritebackBytes)
 		if detail.Gate.Transitions > 0 {
-			fmt.Printf("power gating: %d transitions, saved %v\n",
+			fmt.Fprintf(w, "power gating: %d transitions, saved %v\n",
 				detail.Gate.Transitions, detail.Gate.UngatedEnergy-detail.Gate.GatedEnergy)
 		}
 	}

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
 
 func TestAccConfig(t *testing.T) {
 	for _, name := range []string{"hyve", "hyve-opt", "sd", "dram", "reram"} {
@@ -18,19 +24,110 @@ func TestAccConfig(t *testing.T) {
 	}
 }
 
+func TestSplitList(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"YT", []string{"YT"}},
+		{"YT,WK,LJ", []string{"YT", "WK", "LJ"}},
+		{"YT, WK", []string{"YT", "WK"}},
+		{"YT,", []string{"YT"}},
+		{"", nil},
+	} {
+		if got := splitList(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
 func TestRunOneSmokesEveryConfig(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation smoke test")
 	}
 	for _, config := range []string{"hyve-opt", "sd", "graphr", "cpu", "cpu-opt"} {
-		if err := runOne("YT", "PR", config, 2, true); err != nil {
+		if err := runOne(io.Discard, "YT", "PR", config, 2, true); err != nil {
 			t.Errorf("runOne(YT, PR, %s): %v", config, err)
 		}
 	}
-	if err := runOne("nope", "PR", "hyve", 2, false); err == nil {
+	if err := runOne(io.Discard, "nope", "PR", "hyve", 2, false); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := runOne("YT", "nope", "hyve", 2, false); err == nil {
+	if err := runOne(io.Discard, "YT", "nope", "hyve", 2, false); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestRunSweepDeterministic checks the sweep contract: a multi-point run
+// emits every point in dataset-major order and produces the same
+// per-point bytes at one worker and many.
+func TestRunSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	datasets := []string{"YT", "WK"}
+	algos := []string{"PR", "BFS"}
+	configs := []string{"hyve-opt", "sd"}
+	var serial, par bytes.Buffer
+	if err := runSweep(&serial, datasets, algos, configs, 2, false, -1); err != nil {
+		t.Fatalf("serial sweep: %v", err)
+	}
+	if err := runSweep(&par, datasets, algos, configs, 2, false, 8); err != nil {
+		t.Fatalf("parallel sweep: %v", err)
+	}
+	stripTiming := func(s string) string {
+		lines := strings.Split(s, "\n")
+		var keep []string
+		for _, l := range lines {
+			if strings.Contains(l, "wall clock") {
+				continue
+			}
+			keep = append(keep, l)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if got, want := stripTiming(par.String()), stripTiming(serial.String()); got != want {
+		t.Errorf("parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	// Dataset-major emission order.
+	out := serial.String()
+	prev := -1
+	for _, d := range datasets {
+		for _, a := range algos {
+			for _, c := range configs {
+				head := "--- " + d + " " + a + " " + c + " ---"
+				at := strings.Index(out, head)
+				if at < 0 {
+					t.Fatalf("missing point header %q", head)
+				}
+				if at < prev {
+					t.Errorf("point %q emitted out of order", head)
+				}
+				prev = at
+			}
+		}
+	}
+	if !strings.Contains(out, "8 points:") {
+		t.Errorf("sweep summary line missing:\n%s", out)
+	}
+}
+
+func TestRunSweepSinglePointUnchanged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	var single, direct bytes.Buffer
+	if err := runSweep(&single, []string{"YT"}, []string{"PR"}, []string{"hyve-opt"}, 2, false, 8); err != nil {
+		t.Fatalf("single-point sweep: %v", err)
+	}
+	if err := runOne(&direct, "YT", "PR", "hyve-opt", 2, false); err != nil {
+		t.Fatalf("runOne: %v", err)
+	}
+	if single.String() != direct.String() {
+		t.Errorf("single-point sweep output differs from direct runOne:\n--- sweep ---\n%s\n--- direct ---\n%s",
+			single.String(), direct.String())
+	}
+	if err := runSweep(io.Discard, nil, []string{"PR"}, []string{"hyve"}, 2, false, 0); err == nil {
+		t.Error("empty dataset list accepted")
 	}
 }

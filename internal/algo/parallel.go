@@ -50,6 +50,12 @@ func RunParallel(p Program, g *graph.Graph, workers int) (*Result, error) {
 		edges, active, updated int64
 		changed                bool
 	}
+	// stats is written exactly once per worker per iteration — each
+	// goroutine accumulates into a stack-local workerStats on the hot
+	// edge loop and publishes it with a single store before the barrier.
+	// Counting directly in stats[wk] would put adjacent workers' hot
+	// counters on the same cache line and ping-pong it between cores
+	// (false sharing) on every edges++.
 	stats := make([]workerStats, workers)
 
 	for iter := 0; ; iter++ {
@@ -61,8 +67,6 @@ func RunParallel(p Program, g *graph.Graph, workers int) (*Result, error) {
 			wg.Add(1)
 			go func(wk int) {
 				defer wg.Done()
-				st := &stats[wk]
-				st.changed = false
 				// Seed owned accumulators.
 				for v := wk; v < n; v += workers {
 					accum[v] = p.AccumIdentity(values[v])
@@ -75,7 +79,7 @@ func RunParallel(p Program, g *graph.Graph, workers int) (*Result, error) {
 			wg.Add(1)
 			go func(wk int) {
 				defer wg.Done()
-				st := &stats[wk]
+				var st workerStats // goroutine-local; published once below
 				// Stream all edges; gather only owned destinations.
 				// (Hardware streams each PU only its own blocks; the
 				// shared-memory oracle filters instead — same work per
@@ -102,6 +106,7 @@ func RunParallel(p Program, g *graph.Graph, workers int) (*Result, error) {
 					accum[v] = nv // stage the new value
 					st.changed = st.changed || ch
 				}
+				stats[wk] = st
 			}(wk)
 		}
 		wg.Wait()
@@ -109,9 +114,14 @@ func RunParallel(p Program, g *graph.Graph, workers int) (*Result, error) {
 		values, accum = accum, values
 
 		res.Iterations++
+		// Merge the iteration's per-worker stats after the barrier: the
+		// goroutines are done, so this read races with nothing.
 		changed := false
 		for wk := range stats {
 			changed = changed || stats[wk].changed
+			res.EdgesProcessed += stats[wk].edges
+			res.ActiveEdges += stats[wk].active
+			res.UpdatedGathers += stats[wk].updated
 		}
 		if fixed := p.FixedIterations(); fixed > 0 {
 			if res.Iterations >= fixed {
@@ -123,11 +133,6 @@ func RunParallel(p Program, g *graph.Graph, workers int) (*Result, error) {
 			res.Converged = true
 			break
 		}
-	}
-	for wk := range stats {
-		res.EdgesProcessed += stats[wk].edges
-		res.ActiveEdges += stats[wk].active
-		res.UpdatedGathers += stats[wk].updated
 	}
 	res.Values = values
 	return res, nil

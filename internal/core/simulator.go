@@ -135,6 +135,14 @@ func gridRowHitRate(kind MemKind) float64 {
 }
 
 // Simulate runs w under cfg and returns time, energy, and detail.
+//
+// Simulate is safe to call from concurrent goroutines, including on a
+// shared Workload: cfg and w are passed by value, all mutable run state
+// (partitioning, schedule, gate windows, accumulated report) lives in
+// locals created here, and the only data reached through w — the graph
+// and the program — is read-only by contract (graphs are never mutated
+// after generation, programs are stateless). The parallel experiment
+// harness and internal/experiments/race_test.go depend on this.
 func Simulate(cfg Config, w Workload) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

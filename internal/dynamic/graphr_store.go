@@ -21,6 +21,10 @@ type GraphRStore struct {
 	invalid     map[graph.VertexID]bool
 	// Rewrites counts whole-block reprogramming passes.
 	Rewrites int64
+	// sink defeats dead-code elimination of the reprogram sweep. It is
+	// per-store (not a package global) so concurrent Replay runs on
+	// independent stores never write shared state.
+	sink float32
 }
 
 type denseBlock struct {
@@ -70,12 +74,9 @@ func (s *GraphRStore) reprogram(b *denseBlock) {
 		}
 	}
 	// The accumulation forces the sweep; the value is irrelevant.
-	sinkFloat = acc
+	s.sink = acc
 	s.Rewrites++
 }
-
-// sinkFloat defeats dead-code elimination of the reprogram sweep.
-var sinkFloat float32
 
 // AddEdge implements Store.
 func (s *GraphRStore) AddEdge(e graph.Edge) (int, error) {

@@ -54,8 +54,10 @@ func runAblationInterleave(w io.Writer, _ Options) error {
 // HyVE-opt pipeline.
 func runAblationNVM(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Ablation: edge-memory technology (§2.3), PR, HyVE-opt pipeline")
-	t := newTable("dataset", "ReRAM", "PCM", "STT-MRAM", "DRAM (no gating)")
-	for _, d := range opt.datasets() {
+	ds := opt.datasets()
+	rows := make([][]string, len(ds))
+	err := opt.forEach(len(ds), func(i int) error {
+		d := ds[i]
 		wl, err := workloadFor(d, "PR")
 		if err != nil {
 			return err
@@ -90,7 +92,15 @@ func runAblationNVM(w io.Writer, opt Options) error {
 			return err
 		}
 		row = append(row, fmt.Sprintf("%.0f", r.Report.MTEPSPerWatt()))
-		t.add(row...)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("dataset", "ReRAM", "PCM", "STT-MRAM", "DRAM (no gating)")
+	for _, r := range rows {
+		t.add(r...)
 	}
 	return t.write(w)
 }
@@ -106,17 +116,14 @@ func runAblationGateTimeout(w io.Writer, opt Options) error {
 		100 * units.Microsecond,
 		units.Millisecond,
 	}
-	header := []string{"dataset"}
-	for _, to := range timeouts {
-		header = append(header, to.String())
-	}
-	t := newTable(header...)
-	for _, d := range opt.datasets() {
-		wl, err := workloadFor(d, "PR")
+	ds := opt.datasets()
+	rows := make([][]string, len(ds))
+	err := opt.forEach(len(ds), func(i int) error {
+		wl, err := workloadFor(ds[i], "PR")
 		if err != nil {
 			return err
 		}
-		row := []string{d.Name}
+		row := []string{ds[i].Name}
 		for _, to := range timeouts {
 			cfg := core.HyVEOpt()
 			cfg.Gate.IdleTimeout = to
@@ -126,7 +133,19 @@ func runAblationGateTimeout(w io.Writer, opt Options) error {
 			}
 			row = append(row, fmt.Sprintf("%.0f", r.Report.MTEPSPerWatt()))
 		}
-		t.add(row...)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	header := []string{"dataset"}
+	for _, to := range timeouts {
+		header = append(header, to.String())
+	}
+	t := newTable(header...)
+	for _, r := range rows {
+		t.add(r...)
 	}
 	return t.write(w)
 }
@@ -137,13 +156,10 @@ func runAblationGateTimeout(w io.Writer, opt Options) error {
 func runAblationRouter(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Ablation: router reroute cost (§4.2), data-sharing improvement on PR")
 	cycles := []int{0, 5, 10, 50, 200}
-	header := []string{"dataset"}
-	for _, c := range cycles {
-		header = append(header, fmt.Sprintf("%d cyc", c))
-	}
-	t := newTable(header...)
-	for _, d := range opt.datasets() {
-		wl, err := workloadFor(d, "PR")
+	ds := opt.datasets()
+	rows := make([][]string, len(ds))
+	err := opt.forEach(len(ds), func(i int) error {
+		wl, err := workloadFor(ds[i], "PR")
 		if err != nil {
 			return err
 		}
@@ -151,7 +167,7 @@ func runAblationRouter(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		row := []string{d.Name}
+		row := []string{ds[i].Name}
 		for _, c := range cycles {
 			cfg := core.HyVE()
 			cfg.DataSharing = true
@@ -162,7 +178,19 @@ func runAblationRouter(w io.Writer, opt Options) error {
 			}
 			row = append(row, fmt.Sprintf("%.2fx", r.Report.MTEPSPerWatt()/base.Report.MTEPSPerWatt()))
 		}
-		t.add(row...)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	header := []string{"dataset"}
+	for _, c := range cycles {
+		header = append(header, fmt.Sprintf("%d cyc", c))
+	}
+	t := newTable(header...)
+	for _, r := range rows {
+		t.add(r...)
 	}
 	return t.write(w)
 }
@@ -187,8 +215,12 @@ func runAblationModel(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	t := newTable("dataset", "edges ec/vc", "vc vertex energy", "ec vertex energy", "total ec/vc energy")
-	for _, d := range opt.datasets() {
+	// The chips are shared across points: device cost lookups are pure
+	// reads of the calibrated operating points.
+	ds := opt.datasets()
+	rows := make([][]string, len(ds))
+	err = opt.forEach(len(ds), func(i int) error {
+		d := ds[i]
 		g, err := d.Load()
 		if err != nil {
 			return err
@@ -220,11 +252,19 @@ func runAblationModel(w io.Writer, opt Options) error {
 
 		ecTotal := ecEdge + ecVtx
 		vcTotal := vcEdge + vcVtx
-		t.addf("%s|%.2f|%v|%v|%.2f",
+		rows[i] = []string{
 			d.Name,
-			float64(ec.EdgesProcessed)/float64(vc.EdgesProcessed),
-			vcVtx, ecVtx,
-			float64(ecTotal)/float64(vcTotal))
+			fmt.Sprintf("%.2f", float64(ec.EdgesProcessed)/float64(vc.EdgesProcessed)),
+			fmt.Sprintf("%v", vcVtx), fmt.Sprintf("%v", ecVtx),
+			fmt.Sprintf("%.2f", float64(ecTotal)/float64(vcTotal))}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("dataset", "edges ec/vc", "vc vertex energy", "ec vertex energy", "total ec/vc energy")
+	for _, r := range rows {
+		t.add(r...)
 	}
 	if err := t.write(w); err != nil {
 		return err
@@ -249,34 +289,46 @@ func runAblationPrecision(w io.Writer, opt Options) error {
 		datasets = datasets[:1]
 		iters = 5
 	}
+	// One point per (dataset, width): the crossbar emulation is the
+	// heaviest compute in the suite, so the sweep benefits most from
+	// fanning every cell out rather than only rows.
+	rows := make([][]string, len(datasets)*len(widths))
+	err := opt.forEach(len(rows), func(i int) error {
+		d, bits := datasets[i/len(widths)], widths[i%len(widths)]
+		g, err := d.Load()
+		if err != nil {
+			return err
+		}
+		q, err := graphr.NewQuantizer(bits, 4, 1)
+		if err != nil {
+			return err
+		}
+		_, maxRel, err := graphr.PageRankCrossbar(g, q, 0.85, iters)
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{fmt.Sprintf("%.4f", maxRel)}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	header := []string{"dataset"}
 	for _, b := range widths {
 		header = append(header, fmt.Sprintf("%d-bit", b))
 	}
 	t := newTable(header...)
-	for _, d := range datasets {
-		g, err := d.Load()
-		if err != nil {
-			return err
-		}
+	for di, d := range datasets {
 		row := []string{d.Name}
-		for _, bits := range widths {
-			q, err := graphr.NewQuantizer(bits, 4, 1)
-			if err != nil {
-				return err
-			}
-			_, maxRel, err := graphr.PageRankCrossbar(g, q, 0.85, iters)
-			if err != nil {
-				return err
-			}
-			row = append(row, fmt.Sprintf("%.4f", maxRel))
+		for wi := range widths {
+			row = append(row, rows[di*len(widths)+wi]...)
 		}
 		t.add(row...)
 	}
 	if err := t.write(w); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintln(w, "(GraphR's 4×4-bit slicing of 16-bit values keeps PR within a few percent)")
+	_, err = fmt.Fprintln(w, "(GraphR's 4×4-bit slicing of 16-bit values keeps PR within a few percent)")
 	return err
 }
 
@@ -302,8 +354,9 @@ func runAblationTopology(w io.Writer, opt Options) error {
 	if opt.Quick {
 		gens = gens[:2]
 	}
-	t := newTable("topology", "gini(in)", "Navg(8×8)", "SD", "HyVE-opt", "ratio")
-	for _, ge := range gens {
+	rows := make([][]string, len(gens))
+	err := opt.forEach(len(gens), func(i int) error {
+		ge := gens[i]
 		g, err := ge.make()
 		if err != nil {
 			return err
@@ -321,14 +374,25 @@ func runAblationTopology(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		t.addf("%s|%.3f|%.2f|%.0f|%.0f|%.2fx",
-			ge.name, graph.ComputeStats(g).GiniIn, occ.AvgEdgesPerBlk,
-			sd.Report.MTEPSPerWatt(), opt2.Report.MTEPSPerWatt(),
-			opt2.Report.MTEPSPerWatt()/sd.Report.MTEPSPerWatt())
+		rows[i] = []string{
+			ge.name,
+			fmt.Sprintf("%.3f", graph.ComputeStats(g).GiniIn),
+			fmt.Sprintf("%.2f", occ.AvgEdgesPerBlk),
+			fmt.Sprintf("%.0f", sd.Report.MTEPSPerWatt()),
+			fmt.Sprintf("%.0f", opt2.Report.MTEPSPerWatt()),
+			fmt.Sprintf("%.2fx", opt2.Report.MTEPSPerWatt()/sd.Report.MTEPSPerWatt())}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("topology", "gini(in)", "Navg(8×8)", "SD", "HyVE-opt", "ratio")
+	for _, r := range rows {
+		t.add(r...)
 	}
 	if err := t.write(w); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintln(w, "(the hybrid hierarchy wins on every topology; degree skew moves the margin, not the sign)")
+	_, err = fmt.Fprintln(w, "(the hybrid hierarchy wins on every topology; degree skew moves the margin, not the sign)")
 	return err
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // Options tunes a run.
@@ -26,6 +27,30 @@ type Options struct {
 	// Datasets overrides the dataset list (defaults to graph.Datasets,
 	// or its first two under Quick).
 	Datasets []graph.Dataset
+	// Parallel is the worker count for the independent simulation
+	// points inside each runner: 1 (or negative) runs them inline, 0
+	// uses GOMAXPROCS. Results are collected into index-addressed
+	// slices before table emission, so output is byte-identical at any
+	// worker count. Experiments that measure wall time (Measured in the
+	// registry) ignore this and always run their points serially —
+	// concurrent load would distort the very quantity they report.
+	Parallel int
+}
+
+// forEach fans the runner's independent points [0, n) across the
+// configured worker pool (see parallel.ForEach for the determinism
+// contract).
+func (o Options) forEach(n int, fn func(i int) error) error {
+	return parallel.ForEach(workersFor(o.Parallel), n, fn)
+}
+
+// workersFor maps the Options.Parallel convention (1/negative = serial,
+// 0 = GOMAXPROCS) onto parallel.Workers.
+func workersFor(p int) int {
+	if p < 0 {
+		return 1
+	}
+	return parallel.Workers(p)
 }
 
 // datasets resolves the dataset list for a run.
@@ -47,32 +72,38 @@ type Experiment struct {
 	Title string
 	// Run writes the regenerated rows to w.
 	Run func(w io.Writer, opt Options) error
+	// Measured marks experiments whose numbers come from wall-clock
+	// measurement of this process (preprocessing speed, dynamic-update
+	// throughput). Their points always run serially, and drivers that
+	// run experiments concurrently must give them the machine to
+	// themselves so background load cannot distort the measurement.
+	Measured bool
 }
 
 var registry = []Experiment{
-	{"table1", "Average edges in non-empty 8×8 blocks (Navg)", runTable1},
-	{"table3", "ReRAM bank power under different configurations", runTable3},
-	{"table4", "Energy efficiency varying SRAM sizes (MTEPS/W)", runTable4},
-	{"fig9", "Normalized DRAM/ReRAM delay, energy, EDP (sequential access)", runFig9},
-	{"fig10", "Normalized vertex-memory EDP DRAM/ReRAM on HyVE and GraphR", runFig10},
-	{"fig11", "Vertex storage comparison GraphR/HyVE", runFig11},
-	{"fig12", "Preprocessing speed vs number of blocks", runFig12},
-	{"fig13", "Energy efficiency by ReRAM cell bits", runFig13},
-	{"fig14", "Data-sharing energy-efficiency improvement", runFig14},
-	{"fig15", "Power-gating energy-efficiency improvement", runFig15},
-	{"fig16", "Energy efficiency across configurations (MTEPS/W)", runFig16},
-	{"fig17", "Energy consumption breakdown", runFig17},
-	{"fig18", "Execution time SD/HyVE", runFig18},
-	{"fig19", "Preprocessing time GraphR/HyVE", runFig19},
-	{"fig20", "Dynamic graph update throughput", runFig20},
-	{"fig21", "GraphR/HyVE delay, energy, EDP", runFig21},
-	{"ablation-interleave", "Bank vs subbank interleaving (extension)", runAblationInterleave},
-	{"ablation-nvm", "Edge-memory NVM alternatives (extension)", runAblationNVM},
-	{"ablation-gate-timeout", "Power-gate idle timeout sweep (extension)", runAblationGateTimeout},
-	{"ablation-router", "Router reroute cost sensitivity (extension)", runAblationRouter},
-	{"ablation-model", "Edge-centric vs vertex-centric locality (extension)", runAblationModel},
-	{"ablation-precision", "Crossbar compute precision (extension)", runAblationPrecision},
-	{"ablation-topology", "Topology sensitivity (extension)", runAblationTopology},
+	{"table1", "Average edges in non-empty 8×8 blocks (Navg)", runTable1, false},
+	{"table3", "ReRAM bank power under different configurations", runTable3, false},
+	{"table4", "Energy efficiency varying SRAM sizes (MTEPS/W)", runTable4, false},
+	{"fig9", "Normalized DRAM/ReRAM delay, energy, EDP (sequential access)", runFig9, false},
+	{"fig10", "Normalized vertex-memory EDP DRAM/ReRAM on HyVE and GraphR", runFig10, false},
+	{"fig11", "Vertex storage comparison GraphR/HyVE", runFig11, false},
+	{"fig12", "Preprocessing speed vs number of blocks", runFig12, true},
+	{"fig13", "Energy efficiency by ReRAM cell bits", runFig13, false},
+	{"fig14", "Data-sharing energy-efficiency improvement", runFig14, false},
+	{"fig15", "Power-gating energy-efficiency improvement", runFig15, false},
+	{"fig16", "Energy efficiency across configurations (MTEPS/W)", runFig16, false},
+	{"fig17", "Energy consumption breakdown", runFig17, false},
+	{"fig18", "Execution time SD/HyVE", runFig18, false},
+	{"fig19", "Preprocessing time GraphR/HyVE", runFig19, true},
+	{"fig20", "Dynamic graph update throughput", runFig20, true},
+	{"fig21", "GraphR/HyVE delay, energy, EDP", runFig21, false},
+	{"ablation-interleave", "Bank vs subbank interleaving (extension)", runAblationInterleave, false},
+	{"ablation-nvm", "Edge-memory NVM alternatives (extension)", runAblationNVM, false},
+	{"ablation-gate-timeout", "Power-gate idle timeout sweep (extension)", runAblationGateTimeout, false},
+	{"ablation-router", "Router reroute cost sensitivity (extension)", runAblationRouter, false},
+	{"ablation-model", "Edge-centric vs vertex-centric locality (extension)", runAblationModel, false},
+	{"ablation-precision", "Crossbar compute precision (extension)", runAblationPrecision, false},
+	{"ablation-topology", "Topology sensitivity (extension)", runAblationTopology, false},
 }
 
 // All returns every experiment in paper order.
@@ -100,46 +131,59 @@ func ids() []string {
 
 // --- workload assembly with memoized functional runs -------------------
 
-// funcOutcome caches what a functional run determines about a workload.
-type funcOutcome struct {
-	iterations int
-	activity   float64
-	updates    float64
+// wlEntry is one memoized workload: assembly and the functional run both
+// happen exactly once, under the entry's Once, no matter how many
+// concurrent runners ask for the same (dataset, program) point.
+type wlEntry struct {
+	once sync.Once
+	wl   core.Workload
+	err  error
 }
 
-var iterCache sync.Map // "PROG/DATASET" → funcOutcome
+// wlCache memoizes assembled workloads. The key includes the dataset's
+// scale divisor and generator seed, not just its name: two sweeps
+// running concurrently against differently scaled or reseeded variants
+// of the same dataset would otherwise cross-pollinate cached functional
+// outcomes (iteration counts, activity factors) and silently corrupt
+// each other's tables.
+var wlCache sync.Map // wlKey → *wlEntry
+
+func wlKey(d graph.Dataset, progName string) string {
+	return fmt.Sprintf("%s/%s/scale%d/seed%x", progName, d.Name, d.Scale, d.Seed)
+}
 
 // workloadFor builds the standard workload for (dataset, program) with
 // the functional outcome (iteration count, activity factors) memoized
 // across runners: it depends only on the program and graph, not on the
-// architecture.
+// architecture. The cached workload shares its graph and program across
+// callers; both are read-only during simulation (programs are stateless,
+// graphs are never mutated after generation), which is what makes
+// concurrent core.Simulate calls on the same workload race-free.
 func workloadFor(d graph.Dataset, progName string) (core.Workload, error) {
-	p, err := algo.ByName(progName)
-	if err != nil {
-		return core.Workload{}, err
-	}
-	w, err := core.WorkloadFor(d, p)
-	if err != nil {
-		return core.Workload{}, err
-	}
-	key := progName + "/" + d.Name
-	if v, ok := iterCache.Load(key); ok {
-		o := v.(funcOutcome)
-		w.Iterations = o.iterations
-		w.ActivityFactor = o.activity
-		w.UpdateFactor = o.updates
-		return w, nil
-	}
-	fr, err := algo.Run(w.Program, w.Graph)
-	if err != nil {
-		return core.Workload{}, err
-	}
-	o := funcOutcome{iterations: fr.Iterations, activity: fr.ActivityRatio(), updates: fr.UpdateRatio()}
-	iterCache.Store(key, o)
-	w.Iterations = o.iterations
-	w.ActivityFactor = o.activity
-	w.UpdateFactor = o.updates
-	return w, nil
+	v, _ := wlCache.LoadOrStore(wlKey(d, progName), &wlEntry{})
+	e := v.(*wlEntry)
+	e.once.Do(func() {
+		p, err := algo.ByName(progName)
+		if err != nil {
+			e.err = err
+			return
+		}
+		w, err := core.WorkloadFor(d, p)
+		if err != nil {
+			e.err = err
+			return
+		}
+		fr, err := algo.Run(w.Program, w.Graph)
+		if err != nil {
+			e.err = err
+			return
+		}
+		w.Iterations = fr.Iterations
+		w.ActivityFactor = fr.ActivityRatio()
+		w.UpdateFactor = fr.UpdateRatio()
+		e.wl = w
+	})
+	return e.wl, e.err
 }
 
 // --- tiny aligned-table writer ------------------------------------------
@@ -153,8 +197,48 @@ func newTable(header ...string) *table { return &table{header: header} }
 
 func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
 
+// addf adds one row from a "|"-separated format string: each segment is
+// one cell's format, rendered independently with the arguments its verbs
+// consume. Splitting happens on the format string, never on rendered
+// output, so a formatted value containing "|" stays inside its cell
+// instead of silently shifting every column after it.
 func (t *table) addf(format string, args ...any) {
-	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+	segs := strings.Split(format, "|")
+	cells := make([]string, len(segs))
+	at := 0
+	for i, seg := range segs {
+		n := countVerbs(seg)
+		if at+n > len(args) {
+			n = len(args) - at
+		}
+		cells[i] = fmt.Sprintf(seg, args[at:at+n]...)
+		at += n
+	}
+	if at < len(args) {
+		// Surplus arguments are a caller bug; surface them the way
+		// fmt does rather than dropping data.
+		cells[len(cells)-1] += fmt.Sprintf("%%!(EXTRA args=%v)", args[at:])
+	}
+	t.add(cells...)
+}
+
+// countVerbs counts the arguments a format segment consumes: one per
+// verb, skipping the literal "%%". The runners' formats use only
+// fixed-width verbs (%s, %d, %v, %.2f, …), none of the '*'-indirect
+// forms, so one verb is always one argument.
+func countVerbs(format string) int {
+	n := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if i+1 < len(format) && format[i+1] == '%' {
+			i++
+			continue
+		}
+		n++
+	}
+	return n
 }
 
 func (t *table) write(w io.Writer) error {

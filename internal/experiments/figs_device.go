@@ -72,48 +72,57 @@ func runFig9(w io.Writer, _ Options) error {
 // wins (ratio > 1) for GraphR's many partitions.
 func runFig10(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 10: normalized vertex-memory EDP DRAM/ReRAM (<1: DRAM better)")
-	t := newTable("architecture", "dataset", "4Gb", "8Gb", "16Gb")
-	for _, arch := range []string{"GraphR", "HyVE"} {
-		for _, d := range opt.datasets() {
-			g, err := d.Load()
+	archs := []string{"GraphR", "HyVE"}
+	ds := opt.datasets()
+	rows := make([][]string, len(archs)*len(ds))
+	err := opt.forEach(len(rows), func(i int) error {
+		arch, d := archs[i/len(ds)], ds[i%len(ds)]
+		g, err := d.Load()
+		if err != nil {
+			return err
+		}
+		var counts analytic.Counts
+		if arch == "GraphR" {
+			occ, err := partition.ComputeOccupancy(g, 8)
 			if err != nil {
 				return err
 			}
-			var counts analytic.Counts
-			if arch == "GraphR" {
-				occ, err := partition.ComputeOccupancy(g, 8)
-				if err != nil {
-					return err
-				}
-				counts = analytic.GraphRCounts(int64(g.NumVertices), int64(g.NumEdges()), occ.NonEmpty)
-			} else {
-				p, err := partition.ChooseP(d.FullVertices, 2<<20, 8, 8)
-				if err != nil {
-					return err
-				}
-				counts, err = analytic.HyVECounts(int64(g.NumVertices), int64(g.NumEdges()), p, 8)
-				if err != nil {
-					return err
-				}
+			counts = analytic.GraphRCounts(int64(g.NumVertices), int64(g.NumEdges()), occ.NonEmpty)
+		} else {
+			p, err := partition.ChooseP(d.FullVertices, 2<<20, 8, 8)
+			if err != nil {
+				return err
 			}
-			row := []string{arch, d.Name}
-			for _, density := range []int{4, 8, 16} {
-				dc, rc, err := chipsAt(density)
-				if err != nil {
-					return err
-				}
-				local, err := sram.New(2 << 20)
-				if err != nil {
-					return err
-				}
-				edp := func(global device.Memory) units.EDP {
-					v := analytic.VertexStorage{N: counts, C: analytic.VertexOps(global, local), ValueWords: 2}
-					return v.GlobalCost().EDP()
-				}
-				row = append(row, fmt.Sprintf("%.3f", float64(edp(dc))/float64(edp(rc))))
+			counts, err = analytic.HyVECounts(int64(g.NumVertices), int64(g.NumEdges()), p, 8)
+			if err != nil {
+				return err
 			}
-			t.add(row...)
 		}
+		row := []string{arch, d.Name}
+		for _, density := range []int{4, 8, 16} {
+			dc, rc, err := chipsAt(density)
+			if err != nil {
+				return err
+			}
+			local, err := sram.New(2 << 20)
+			if err != nil {
+				return err
+			}
+			edp := func(global device.Memory) units.EDP {
+				v := analytic.VertexStorage{N: counts, C: analytic.VertexOps(global, local), ValueWords: 2}
+				return v.GlobalCost().EDP()
+			}
+			row = append(row, fmt.Sprintf("%.3f", float64(edp(dc))/float64(edp(rc))))
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("architecture", "dataset", "4Gb", "8Gb", "16Gb")
+	for _, r := range rows {
+		t.add(r...)
 	}
 	return t.write(w)
 }
@@ -125,8 +134,10 @@ func runFig10(w io.Writer, opt Options) error {
 // and EDP despite GraphR's faster register files.
 func runFig11(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 11: vertex storage GraphR/HyVE (values >1 mean HyVE better)")
-	t := newTable("dataset", "reads", "writes", "delay(DRAM)", "energy(DRAM)", "EDP(DRAM)", "delay(ReRAM)", "energy(ReRAM)", "EDP(ReRAM)")
-	for _, d := range opt.datasets() {
+	ds := opt.datasets()
+	rows := make([][]string, len(ds))
+	err := opt.forEach(len(ds), func(i int) error {
+		d := ds[i]
 		g, err := d.Load()
 		if err != nil {
 			return err
@@ -170,7 +181,15 @@ func runFig11(w io.Writer, opt Options) error {
 					fmt.Sprintf("%.2f", float64(gr.EDP())/float64(hv.EDP())))
 			}
 		}
-		t.add(row...)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("dataset", "reads", "writes", "delay(DRAM)", "energy(DRAM)", "EDP(DRAM)", "delay(ReRAM)", "energy(ReRAM)", "EDP(ReRAM)")
+	for _, r := range rows {
+		t.add(r...)
 	}
 	return t.write(w)
 }
@@ -179,6 +198,11 @@ func runFig11(w io.Writer, opt Options) error {
 // block count grows, normalized to the smallest grid. Paper shape: flat
 // up to ~32×32 blocks, degrading beyond 64×64 as per-block addressing
 // overhead bites.
+//
+// Marked Measured in the registry: the points stay serial regardless of
+// Options.Parallel because they time real executions — running them
+// under concurrent load would measure scheduler contention, not
+// preprocessing speed.
 func runFig12(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 12: normalized preprocessing speed vs number of blocks (1.0 = P=4)")
 	ps := []int{4, 8, 16, 32, 64, 128, 256, 512}
@@ -242,13 +266,14 @@ func measureBest(reps int, fn func() error) time.Duration {
 // than the density is worth).
 func runFig13(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 13: energy efficiency (MTEPS/W) by ReRAM cell bits, PR")
-	t := newTable("dataset", "1 bit", "2 bits", "3 bits")
-	for _, d := range opt.datasets() {
-		wl, err := workloadFor(d, "PR")
+	ds := opt.datasets()
+	rows := make([][]string, len(ds))
+	err := opt.forEach(len(ds), func(i int) error {
+		wl, err := workloadFor(ds[i], "PR")
 		if err != nil {
 			return err
 		}
-		row := []string{d.Name}
+		row := []string{ds[i].Name}
 		for bits := 1; bits <= 3; bits++ {
 			cfg := core.HyVEOpt()
 			cfg.RRAM.Cell = rram.PaperCell(bits)
@@ -258,7 +283,15 @@ func runFig13(w io.Writer, opt Options) error {
 			}
 			row = append(row, fmt.Sprintf("%.0f", r.Report.MTEPSPerWatt()))
 		}
-		t.add(row...)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("dataset", "1 bit", "2 bits", "3 bits")
+	for _, r := range rows {
+		t.add(r...)
 	}
 	return t.write(w)
 }

@@ -15,7 +15,8 @@ import (
 // GraphR/HyVE. HyVE partitions into a handful of intervals with a
 // two-pass counting layout; GraphR must bucket every edge into one of
 // ~|V|²/64 sparse 8×8 blocks through a block directory — the addressing
-// overhead §6.5 identifies (paper mean: 6.73×).
+// overhead §6.5 identifies (paper mean: 6.73×). Marked Measured in the
+// registry: its points time real executions and always run serially.
 func runFig19(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 19: preprocessing time GraphR/HyVE (measured)")
 	t := newTable("dataset", "HyVE P", "GraphR/HyVE")
@@ -75,7 +76,8 @@ func buildSparseBlocks(g *graph.Graph, dim int) error {
 // runFig20 regenerates Fig. 20: single-thread dynamic-update throughput
 // (million edges changed per second) under the 45/45/5/5 request mix,
 // HyVE's slack-based layout vs GraphR's block-rewrite layout (paper:
-// HyVE up to 46.98 M/s, 8.04× over GraphR).
+// HyVE up to 46.98 M/s, 8.04× over GraphR). Marked Measured in the
+// registry: its points time real executions and always run serially.
 func runFig20(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 20: dynamic update throughput (million edges/s, single thread)")
 	t := newTable("dataset", "HyVE", "GraphR", "ratio")
@@ -143,35 +145,47 @@ func runFig21(w io.Writer, opt Options) error {
 	if opt.Quick {
 		algos = []string{"PR", "BFS"}
 	}
+	ds := opt.datasets()
+	type fig21Point struct{ dr, er, xr float64 }
+	points := make([]fig21Point, len(algos)*len(ds))
+	err := opt.forEach(len(points), func(i int) error {
+		wl, err := workloadFor(ds[i%len(ds)], algos[i/len(ds)])
+		if err != nil {
+			return err
+		}
+		gr, err := graphr.Simulate(graphr.Default(), wl)
+		if err != nil {
+			return err
+		}
+		hv, err := core.Simulate(core.HyVE(), wl)
+		if err != nil {
+			return err
+		}
+		points[i] = fig21Point{
+			dr: gr.Report.Time.Seconds() / hv.Report.Time.Seconds(),
+			er: gr.Report.Energy.Total().Joules() / hv.Report.Energy.Total().Joules(),
+			xr: float64(gr.Report.EDP()) / float64(hv.Report.EDP()),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	t := newTable("algo", "dataset", "delay", "energy", "EDP")
 	var dAll, eAll, edpAll []float64
-	for _, a := range algos {
-		for _, d := range opt.datasets() {
-			wl, err := workloadFor(d, a)
-			if err != nil {
-				return err
-			}
-			gr, err := graphr.Simulate(graphr.Default(), wl)
-			if err != nil {
-				return err
-			}
-			hv, err := core.Simulate(core.HyVE(), wl)
-			if err != nil {
-				return err
-			}
-			dr := gr.Report.Time.Seconds() / hv.Report.Time.Seconds()
-			er := gr.Report.Energy.Total().Joules() / hv.Report.Energy.Total().Joules()
-			xr := float64(gr.Report.EDP()) / float64(hv.Report.EDP())
-			dAll = append(dAll, dr)
-			eAll = append(eAll, er)
-			edpAll = append(edpAll, xr)
-			t.addf("%s|%s|%.2f|%.2f|%.2f", a, d.Name, dr, er, xr)
+	for ai, a := range algos {
+		for di, d := range ds {
+			p := points[ai*len(ds)+di]
+			dAll = append(dAll, p.dr)
+			eAll = append(eAll, p.er)
+			edpAll = append(edpAll, p.xr)
+			t.addf("%s|%s|%.2f|%.2f|%.2f", a, d.Name, p.dr, p.er, p.xr)
 		}
 	}
 	if err := t.write(w); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "means: delay %.2fx (paper 5.12x), energy %.2fx (paper 2.83x), EDP %.2fx (paper 17.63x)\n",
+	_, err = fmt.Fprintf(w, "means: delay %.2fx (paper 5.12x), energy %.2fx (paper 2.83x), EDP %.2fx (paper 17.63x)\n",
 		geomean(dAll), geomean(eAll), geomean(edpAll))
 	return err
 }

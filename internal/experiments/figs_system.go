@@ -14,36 +14,43 @@ import (
 // 1.15× BFS, 1.47× CC, 2.19× PR, 1.60× overall).
 func runFig14(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 14: energy-efficiency improvement from data sharing (×)")
+	algos := []string{"BFS", "CC", "PR"}
+	ds := opt.datasets()
+	imps := make([]float64, len(algos)*len(ds))
+	err := opt.forEach(len(imps), func(i int) error {
+		a, d := algos[i/len(ds)], ds[i%len(ds)]
+		wl, err := workloadFor(d, a)
+		if err != nil {
+			return err
+		}
+		base, err := core.Simulate(core.HyVE(), wl)
+		if err != nil {
+			return err
+		}
+		cfg := core.HyVE()
+		cfg.DataSharing = true
+		shared, err := core.Simulate(cfg, wl)
+		if err != nil {
+			return err
+		}
+		imps[i] = shared.Report.MTEPSPerWatt() / base.Report.MTEPSPerWatt()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	t := newTable("algo", "dataset", "improvement")
-	var all []float64
-	for _, a := range []string{"BFS", "CC", "PR"} {
-		var per []float64
-		for _, d := range opt.datasets() {
-			wl, err := workloadFor(d, a)
-			if err != nil {
-				return err
-			}
-			base, err := core.Simulate(core.HyVE(), wl)
-			if err != nil {
-				return err
-			}
-			cfg := core.HyVE()
-			cfg.DataSharing = true
-			shared, err := core.Simulate(cfg, wl)
-			if err != nil {
-				return err
-			}
-			imp := shared.Report.MTEPSPerWatt() / base.Report.MTEPSPerWatt()
-			per = append(per, imp)
-			all = append(all, imp)
-			t.addf("%s|%s|%.2f", a, d.Name, imp)
+	for ai, a := range algos {
+		per := imps[ai*len(ds) : (ai+1)*len(ds)]
+		for di, d := range ds {
+			t.addf("%s|%s|%.2f", a, d.Name, per[di])
 		}
 		t.addf("%s|mean|%.2f", a, geomean(per))
 	}
 	if err := t.write(w); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "overall mean: %.2fx (paper: 1.60x)\n", geomean(all))
+	_, err = fmt.Fprintf(w, "overall mean: %.2fx (paper: 1.60x)\n", geomean(imps))
 	return err
 }
 
@@ -51,33 +58,41 @@ func runFig14(w io.Writer, opt Options) error {
 // bank-level power gating on top of acc+HyVE (paper mean: 1.53×).
 func runFig15(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 15: energy-efficiency improvement from power gating (×)")
+	algos := []string{"BFS", "CC", "PR"}
+	ds := opt.datasets()
+	imps := make([]float64, len(algos)*len(ds))
+	err := opt.forEach(len(imps), func(i int) error {
+		a, d := algos[i/len(ds)], ds[i%len(ds)]
+		wl, err := workloadFor(d, a)
+		if err != nil {
+			return err
+		}
+		base, err := core.Simulate(core.HyVE(), wl)
+		if err != nil {
+			return err
+		}
+		cfg := core.HyVE()
+		cfg.PowerGating = true
+		gated, err := core.Simulate(cfg, wl)
+		if err != nil {
+			return err
+		}
+		imps[i] = gated.Report.MTEPSPerWatt() / base.Report.MTEPSPerWatt()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	t := newTable("algo", "dataset", "improvement")
-	var all []float64
-	for _, a := range []string{"BFS", "CC", "PR"} {
-		for _, d := range opt.datasets() {
-			wl, err := workloadFor(d, a)
-			if err != nil {
-				return err
-			}
-			base, err := core.Simulate(core.HyVE(), wl)
-			if err != nil {
-				return err
-			}
-			cfg := core.HyVE()
-			cfg.PowerGating = true
-			gated, err := core.Simulate(cfg, wl)
-			if err != nil {
-				return err
-			}
-			imp := gated.Report.MTEPSPerWatt() / base.Report.MTEPSPerWatt()
-			all = append(all, imp)
-			t.addf("%s|%s|%.2f", a, d.Name, imp)
+	for ai, a := range algos {
+		for di, d := range ds {
+			t.addf("%s|%s|%.2f", a, d.Name, imps[ai*len(ds)+di])
 		}
 	}
 	if err := t.write(w); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "overall mean: %.2fx (paper: 1.53x)\n", geomean(all))
+	_, err = fmt.Fprintf(w, "overall mean: %.2fx (paper: 1.53x)\n", geomean(imps))
 	return err
 }
 
@@ -115,20 +130,26 @@ func runFig16(w io.Writer, opt Options) error {
 	if opt.Quick {
 		algos = []string{"PR"}
 	}
+	ds := opt.datasets()
+	points := make([]map[string]float64, len(algos)*len(ds))
+	err := opt.forEach(len(points), func(i int) error {
+		wl, err := workloadFor(ds[i%len(ds)], algos[i/len(ds)])
+		if err != nil {
+			return err
+		}
+		points[i], err = fig16Rows(wl)
+		return err
+	})
+	if err != nil {
+		return err
+	}
 	ratios := map[string][]float64{}
-	for _, a := range algos {
+	for ai, a := range algos {
 		fmt.Fprintf(w, "\n[%s]\n", a)
 		header := append([]string{"dataset"}, fig16Order...)
 		t := newTable(header...)
-		for _, d := range opt.datasets() {
-			wl, err := workloadFor(d, a)
-			if err != nil {
-				return err
-			}
-			rows, err := fig16Rows(wl)
-			if err != nil {
-				return err
-			}
+		for di, d := range ds {
+			rows := points[ai*len(ds)+di]
 			cells := []string{d.Name}
 			for _, name := range fig16Order {
 				cells = append(cells, fmt.Sprintf("%.1f", rows[name]))
@@ -166,32 +187,51 @@ func runFig17(w io.Writer, opt Options) error {
 	if opt.Quick {
 		algos = []string{"PR"}
 	}
-	t := newTable("algo", "dataset", "config", "logic%", "edge-mem%", "vertex-mem%", "memory total")
-	var sdMem, optMem []float64
-	for _, a := range algos {
-		for _, d := range opt.datasets() {
-			wl, err := workloadFor(d, a)
+	ds := opt.datasets()
+	type fig17Point struct {
+		rows          [][]string
+		sdMem, optMem float64
+	}
+	points := make([]fig17Point, len(algos)*len(ds))
+	err := opt.forEach(len(points), func(i int) error {
+		a, d := algos[i/len(ds)], ds[i%len(ds)]
+		wl, err := workloadFor(d, a)
+		if err != nil {
+			return err
+		}
+		for _, c := range configs {
+			r, err := core.Simulate(c.cfg, wl)
 			if err != nil {
 				return err
 			}
-			for _, c := range configs {
-				r, err := core.Simulate(c.cfg, wl)
-				if err != nil {
-					return err
-				}
-				bd := &r.Report.Energy
-				logicPct := 100 * (bd.Fraction(energy.Logic) + bd.Fraction(energy.Router))
-				edgePct := 100 * bd.Fraction(energy.EdgeMemory)
-				vertexPct := 100 * float64(bd.VertexMemory()) / float64(bd.Total())
-				t.addf("%s|%s|%s|%.1f|%.1f|%.1f|%v", a, d.Name, c.label, logicPct, edgePct, vertexPct, bd.MemoryTotal())
-				switch c.label {
-				case "SD":
-					sdMem = append(sdMem, float64(bd.MemoryTotal()))
-				case "opt":
-					optMem = append(optMem, float64(bd.MemoryTotal()))
-				}
+			bd := &r.Report.Energy
+			logicPct := 100 * (bd.Fraction(energy.Logic) + bd.Fraction(energy.Router))
+			edgePct := 100 * bd.Fraction(energy.EdgeMemory)
+			vertexPct := 100 * float64(bd.VertexMemory()) / float64(bd.Total())
+			points[i].rows = append(points[i].rows, []string{
+				a, d.Name, c.label,
+				fmt.Sprintf("%.1f", logicPct), fmt.Sprintf("%.1f", edgePct),
+				fmt.Sprintf("%.1f", vertexPct), fmt.Sprintf("%v", bd.MemoryTotal())})
+			switch c.label {
+			case "SD":
+				points[i].sdMem = float64(bd.MemoryTotal())
+			case "opt":
+				points[i].optMem = float64(bd.MemoryTotal())
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("algo", "dataset", "config", "logic%", "edge-mem%", "vertex-mem%", "memory total")
+	var sdMem, optMem []float64
+	for _, p := range points {
+		for _, row := range p.rows {
+			t.add(row...)
+		}
+		sdMem = append(sdMem, p.sdMem)
+		optMem = append(optMem, p.optMem)
 	}
 	if err := t.write(w); err != nil {
 		return err
@@ -200,7 +240,7 @@ func runFig17(w io.Writer, opt Options) error {
 	for i := range sdMem {
 		ratios = append(ratios, optMem[i]/sdMem[i])
 	}
-	_, err := fmt.Fprintf(w, "memory energy reduction opt vs SD (geomean): %.2f%% (paper: 86.17%%)\n",
+	_, err = fmt.Fprintf(w, "memory energy reduction opt vs SD (geomean): %.2f%% (paper: 86.17%%)\n",
 		100*(1-geomean(ratios)))
 	return err
 }
@@ -210,25 +250,33 @@ func runFig17(w io.Writer, opt Options) error {
 // wins cost almost no speed (≤15.1% degradation).
 func runFig18(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 18: execution time ratio SD/HyVE (1.0 = no degradation)")
+	algos := []string{"BFS", "CC", "PR"}
+	ds := opt.datasets()
+	ratiosByPoint := make([]float64, len(algos)*len(ds))
+	err := opt.forEach(len(ratiosByPoint), func(i int) error {
+		wl, err := workloadFor(ds[i%len(ds)], algos[i/len(ds)])
+		if err != nil {
+			return err
+		}
+		sd, err := core.Simulate(core.SRAMDRAM(), wl)
+		if err != nil {
+			return err
+		}
+		hv, err := core.Simulate(core.HyVE(), wl)
+		if err != nil {
+			return err
+		}
+		ratiosByPoint[i] = sd.Report.Time.Seconds() / hv.Report.Time.Seconds()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	t := newTable("algo", "dataset", "SD/HyVE")
-	for _, a := range []string{"BFS", "CC", "PR"} {
-		var per []float64
-		for _, d := range opt.datasets() {
-			wl, err := workloadFor(d, a)
-			if err != nil {
-				return err
-			}
-			sd, err := core.Simulate(core.SRAMDRAM(), wl)
-			if err != nil {
-				return err
-			}
-			hv, err := core.Simulate(core.HyVE(), wl)
-			if err != nil {
-				return err
-			}
-			ratio := sd.Report.Time.Seconds() / hv.Report.Time.Seconds()
-			per = append(per, ratio)
-			t.addf("%s|%s|%.3f", a, d.Name, ratio)
+	for ai, a := range algos {
+		per := ratiosByPoint[ai*len(ds) : (ai+1)*len(ds)]
+		for di, d := range ds {
+			t.addf("%s|%s|%.3f", a, d.Name, per[di])
 		}
 		t.addf("%s|geomean|%.3f", a, geomean(per))
 	}

@@ -16,9 +16,10 @@ import (
 // work.
 func runTable1(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Table 1: average edges in non-empty 8×8 blocks (paper: 1.23–2.38)")
-	t := newTable("dataset", "non-empty blocks", "Navg", "max/block")
-	for _, d := range opt.datasets() {
-		g, err := d.Load()
+	ds := opt.datasets()
+	rows := make([][]string, len(ds))
+	err := opt.forEach(len(ds), func(i int) error {
+		g, err := ds[i].Load()
 		if err != nil {
 			return err
 		}
@@ -26,7 +27,16 @@ func runTable1(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		t.addf("%s|%d|%.2f|%d", d.Name, occ.NonEmpty, occ.AvgEdgesPerBlk, occ.MaxEdgesPerBlk)
+		rows[i] = []string{ds[i].Name, fmt.Sprintf("%d", occ.NonEmpty),
+			fmt.Sprintf("%.2f", occ.AvgEdgesPerBlk), fmt.Sprintf("%d", occ.MaxEdgesPerBlk)}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := newTable("dataset", "non-empty blocks", "Navg", "max/block")
+	for _, r := range rows {
+		t.add(r...)
 	}
 	return t.write(w)
 }
@@ -82,33 +92,47 @@ func runTable4(w io.Writer, opt Options) error {
 		{"w/ power-gating, w/o sharing", true, false},
 		{"w/ power-gating, w/ sharing", true, true},
 	}
-	for _, combo := range combos {
+	// One point per (combo, algo, dataset) row; each sweeps the SRAM
+	// sizes. Rows land in index-addressed slots, so emission order below
+	// is independent of the pool schedule.
+	ds := opt.datasets()
+	perCombo := len(algos) * len(ds)
+	rows := make([][]string, len(combos)*perCombo)
+	err := opt.forEach(len(rows), func(i int) error {
+		combo := combos[i/perCombo]
+		a := algos[i%perCombo/len(ds)]
+		d := ds[i%len(ds)]
+		wl, err := workloadFor(d, a)
+		if err != nil {
+			return err
+		}
+		row := []string{a, d.Name}
+		for _, s := range sizes {
+			cfg := core.HyVE()
+			cfg.SRAMBytes = s
+			cfg.DataSharing = combo.sharing
+			cfg.PowerGating = combo.gating
+			r, err := core.Simulate(cfg, wl)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.0f", r.Report.MTEPSPerWatt()))
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for ci, combo := range combos {
 		fmt.Fprintf(w, "\n[%s]\n", combo.label)
 		header := []string{"algo", "dataset"}
 		for _, s := range sizes {
 			header = append(header, fmt.Sprintf("%dMB", s>>20))
 		}
 		t := newTable(header...)
-		for _, a := range algos {
-			for _, d := range opt.datasets() {
-				wl, err := workloadFor(d, a)
-				if err != nil {
-					return err
-				}
-				row := []string{a, d.Name}
-				for _, s := range sizes {
-					cfg := core.HyVE()
-					cfg.SRAMBytes = s
-					cfg.DataSharing = combo.sharing
-					cfg.PowerGating = combo.gating
-					r, err := core.Simulate(cfg, wl)
-					if err != nil {
-						return err
-					}
-					row = append(row, fmt.Sprintf("%.0f", r.Report.MTEPSPerWatt()))
-				}
-				t.add(row...)
-			}
+		for _, row := range rows[ci*perCombo : (ci+1)*perCombo] {
+			t.add(row...)
 		}
 		if err := t.write(w); err != nil {
 			return err

@@ -70,20 +70,28 @@ var (
 	datasetCache   = map[string]*Graph{}
 )
 
+// cacheKey identifies the generated instance, not just the dataset: a
+// caller sweeping scaled or reseeded variants of one dataset must not be
+// handed the graph generated for different parameters.
+func (d Dataset) cacheKey() string {
+	return fmt.Sprintf("%s/scale%d/seed%x", d.Name, d.Scale, d.Seed)
+}
+
 // Load returns the dataset's generated graph, memoized process-wide: the
 // experiment harness touches every dataset from many runners and
 // regenerating a million-edge R-MAT instance per figure would dominate
 // run time. Callers must not mutate the returned graph; use Clone.
 func (d Dataset) Load() (*Graph, error) {
+	key := d.cacheKey()
 	datasetCacheMu.Lock()
 	defer datasetCacheMu.Unlock()
-	if g, ok := datasetCache[d.Name]; ok {
+	if g, ok := datasetCache[key]; ok {
 		return g, nil
 	}
 	g, err := d.Generate()
 	if err != nil {
 		return nil, err
 	}
-	datasetCache[d.Name] = g
+	datasetCache[key] = g
 	return g, nil
 }

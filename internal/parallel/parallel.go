@@ -1,0 +1,80 @@
+// Package parallel provides the bounded worker pool behind the
+// experiment sweep engine. Every consumer follows the same discipline:
+// independent points are identified by a dense index, workers compute
+// each point into caller-owned index-addressed storage, and the caller
+// emits results in index order after ForEach returns — so output is
+// byte-identical at any worker count and the only shared state is the
+// result slice, which is written at disjoint indices.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values above zero are taken
+// as-is, anything else means one worker per available CPU (GOMAXPROCS).
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most
+// Workers(workers) goroutines and returns the error of the lowest
+// failing index — the same error a sequential loop that runs every
+// point would report, regardless of schedule. fn must confine its
+// writes to index i's slot of the caller's result storage.
+//
+// With one worker (or n <= 1) the points run inline on the calling
+// goroutine, short-circuiting at the first error exactly like the
+// pre-pool sequential loops; because later points are independent of
+// earlier ones, the reported error is identical either way.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		hits := make([]atomic.Int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(8, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReportsLowestFailingIndex(t *testing.T) {
+	fail := map[int]bool{13: true, 5: true, 70: true}
+	for _, workers := range []int{1, 8} {
+		err := ForEach(workers, 100, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("point %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "point 5" {
+			t.Errorf("workers=%d: err = %v, want point 5", workers, err)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 50
+	var inFlight, peak atomic.Int32
+	err := ForEach(workers, n, func(int) error {
+		now := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if now <= p || peak.CompareAndSwap(p, now) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent points, cap %d", p, workers)
+	}
+}
+
+func TestForEachSequentialShortCircuits(t *testing.T) {
+	ran := 0
+	err := ForEach(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Errorf("ran %d points (err %v), want short-circuit after index 3", ran, err)
+	}
+}
