@@ -5,9 +5,11 @@
 //
 //	hyve-bench                 # run everything (full datasets, parallel)
 //	hyve-bench -quick          # small datasets, reduced sweeps
-//	hyve-bench -run fig16      # one artifact
+//	hyve-bench -run fig16      # one artifact (or a comma-separated list)
 //	hyve-bench -list           # enumerate artifacts
 //	hyve-bench -parallel 1     # fully serial (reference behaviour)
+//	hyve-bench -artifact-dir d # also emit canonical JSON artifacts to d
+//	hyve-bench -pprof :6060    # serve net/http/pprof + expvar counters
 //
 // With more than one worker the simulated experiments run concurrently
 // (and fan their own points across the same pool), while the measured
@@ -16,23 +18,30 @@
 // wall-clock numbers are taken on an otherwise idle process exactly as
 // in a serial run. Output is buffered per experiment and emitted in
 // paper order, so the artifact bytes are identical at any -parallel
-// value; only the per-experiment timing annotations vary run to run.
+// value; per-experiment timing and the closing speedup line go to
+// stderr, keeping stdout pipeable.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "run a single experiment by id (e.g. fig16, table4)")
-		quick = flag.Bool("quick", false, "reduced datasets and sweeps")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		par   = flag.Int("parallel", 0, "worker count for simulation points and concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
+		run    = flag.String("run", "", "run selected experiments by id, comma-separated (e.g. fig16 or table3,fig9)")
+		quick  = flag.Bool("quick", false, "reduced datasets and sweeps")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		par    = flag.Int("parallel", 0, "worker count for simulation points and concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
+		artDir = flag.String("artifact-dir", "", "also write one canonical JSON artifact per experiment (plus manifest.json) to this directory")
+		pprof  = flag.String("pprof", "", "serve net/http/pprof and expvar worker-pool counters on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -43,18 +52,34 @@ func main() {
 		return
 	}
 
+	if *pprof != "" {
+		// Route the process-global recorder into the expvar map so
+		// /debug/vars exposes the worker pool's completed/in-flight
+		// point counters alongside the pprof endpoints.
+		obs.SetDefault(obs.Expvar())
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof + expvar on http://%s/debug/pprof/ and /debug/vars\n", *pprof)
+	}
+
 	opt := experiments.Options{Quick: *quick, Parallel: *par}
 	todo := experiments.All()
 	if *run != "" {
-		e, err := experiments.ByID(*run)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		todo = nil
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
 		}
-		todo = []experiments.Experiment{e}
 	}
 
-	if err := runAll(os.Stdout, todo, opt); err != nil {
+	if err := runAll(os.Stdout, os.Stderr, todo, opt, *artDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

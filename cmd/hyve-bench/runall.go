@@ -4,21 +4,31 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
 // runAll executes every experiment and writes the artifacts to w in the
-// given (paper) order. A serial run streams each experiment straight to
-// w; with more than one worker the simulated experiments run
-// concurrently into per-experiment buffers, the measured ones run
-// serially afterwards on an otherwise idle process, and everything is
-// emitted in order once complete. Both paths produce the same artifact
-// bytes. The parallel path closes with an aggregate-vs-wall-clock
-// speedup line.
-func runAll(w io.Writer, todo []experiments.Experiment, opt experiments.Options) error {
+// given (paper) order; timing annotations and the closing speedup line
+// go to progress (stderr in the binary), so w carries only the
+// deterministic artifact bytes and stays pipeable. A serial run streams
+// each experiment straight to w; with more than one worker the simulated
+// experiments run concurrently into per-experiment buffers, the measured
+// ones run serially afterwards on an otherwise idle process, and
+// everything is emitted in order once complete. Both paths produce the
+// same artifact bytes.
+//
+// With artifactDir non-empty, every experiment also emits its canonical
+// JSON artifact (<id>.json) there, plus a run-level manifest.json
+// recording worker count and wall time — the host-side facts that must
+// stay out of the per-experiment documents so those are byte-identical
+// at any -parallel value.
+func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiments.Options, artifactDir string) error {
 	workers := parallel.Workers(opt.Parallel)
 	if opt.Parallel < 0 {
 		workers = 1
@@ -26,9 +36,21 @@ func runAll(w io.Writer, todo []experiments.Experiment, opt experiments.Options)
 	start := time.Now()
 	elapsed := make([]time.Duration, len(todo))
 
+	arts := make([]*obs.Artifact, len(todo))
+	if artifactDir != "" {
+		if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+			return err
+		}
+		for i, e := range todo {
+			arts[i] = experiments.NewRunArtifact(e, opt)
+		}
+	}
+
 	runOne := func(i int, out io.Writer) error {
+		o := opt
+		o.Artifact = arts[i]
 		t0 := time.Now()
-		if err := todo[i].Run(out, opt); err != nil {
+		if err := todo[i].Run(out, o); err != nil {
 			return fmt.Errorf("%s failed: %w", todo[i].ID, err)
 		}
 		elapsed[i] = time.Since(t0)
@@ -41,7 +63,48 @@ func runAll(w io.Writer, todo []experiments.Experiment, opt experiments.Options)
 		fmt.Fprintf(w, "=== %s: %s ===\n", todo[i].ID, todo[i].Title)
 	}
 	footer := func(i int) {
-		fmt.Fprintf(w, "(%s in %v)\n", todo[i].ID, elapsed[i].Round(time.Millisecond))
+		fmt.Fprintf(progress, "(%s in %v)\n", todo[i].ID, elapsed[i].Round(time.Millisecond))
+	}
+	writeArtifact := func(i int) error {
+		if arts[i] == nil {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(artifactDir, todo[i].ID+".json"))
+		if err != nil {
+			return err
+		}
+		if err := arts[i].EncodeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	writeManifest := func() error {
+		if artifactDir == "" {
+			return nil
+		}
+		m := obs.RunManifest{
+			Schema:      obs.ArtifactSchema,
+			Tool:        "hyve-bench",
+			Quick:       opt.Quick,
+			Workers:     workers,
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		for i, e := range todo {
+			m.Experiments = append(m.Experiments, obs.RunArtifact{
+				ID: e.ID, Title: e.Title, File: e.ID + ".json",
+				Seconds: elapsed[i].Seconds(),
+			})
+		}
+		f, err := os.Create(filepath.Join(artifactDir, "manifest.json"))
+		if err != nil {
+			return err
+		}
+		if err := m.EncodeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 
 	if workers <= 1 || len(todo) == 1 {
@@ -51,8 +114,11 @@ func runAll(w io.Writer, todo []experiments.Experiment, opt experiments.Options)
 				return err
 			}
 			footer(i)
+			if err := writeArtifact(i); err != nil {
+				return err
+			}
 		}
-		return nil
+		return writeManifest()
 	}
 
 	// Phase 1: simulated experiments across the pool, buffered.
@@ -87,11 +153,17 @@ func runAll(w io.Writer, todo []experiments.Experiment, opt experiments.Options)
 			return err
 		}
 		footer(i)
+		if err := writeArtifact(i); err != nil {
+			return err
+		}
 		aggregate += elapsed[i]
+	}
+	if err := writeManifest(); err != nil {
+		return err
 	}
 
 	wall := time.Since(start)
-	_, err = fmt.Fprintf(w, "\nwall clock %v for %v of experiment time, %d workers (%.2fx speedup)\n",
+	_, err = fmt.Fprintf(progress, "\nwall clock %v for %v of experiment time, %d workers (%.2fx speedup)\n",
 		wall.Round(time.Millisecond), aggregate.Round(time.Millisecond), workers,
 		aggregate.Seconds()/wall.Seconds())
 	return err

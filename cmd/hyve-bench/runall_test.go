@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -30,31 +32,22 @@ func fakeSuite() []experiments.Experiment {
 	}
 }
 
-// artifactLines strips the run-to-run varying annotations — per-
-// experiment "(id in 12ms)" footers and the closing wall-clock line —
-// leaving only the deterministic artifact bytes.
-func artifactLines(out string) string {
-	var keep []string
-	for _, l := range strings.Split(out, "\n") {
-		if strings.HasPrefix(l, "(") || strings.HasPrefix(l, "wall clock ") {
-			continue
-		}
-		keep = append(keep, l)
-	}
-	return strings.TrimRight(strings.Join(keep, "\n"), "\n")
-}
-
 func TestRunAllOrderAndDeterminism(t *testing.T) {
 	suite := fakeSuite()
-	var serial, par bytes.Buffer
-	if err := runAll(&serial, suite, experiments.Options{Parallel: -1}); err != nil {
+	var serial, par, serialProg, parProg bytes.Buffer
+	if err := runAll(&serial, &serialProg, suite, experiments.Options{Parallel: -1}, ""); err != nil {
 		t.Fatalf("serial runAll: %v", err)
 	}
-	if err := runAll(&par, suite, experiments.Options{Parallel: 8}); err != nil {
+	if err := runAll(&par, &parProg, suite, experiments.Options{Parallel: 8}, ""); err != nil {
 		t.Fatalf("parallel runAll: %v", err)
 	}
-	if got, want := artifactLines(par.String()), artifactLines(serial.String()); got != want {
-		t.Errorf("parallel artifact bytes differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	// With the timing annotations routed to the progress writer, stdout
+	// must be byte-identical between serial and parallel runs.
+	if got, want := par.String(), serial.String(); got != want {
+		t.Errorf("parallel stdout bytes differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	if strings.Contains(par.String(), "wall clock ") || strings.Contains(par.String(), "(alpha in ") {
+		t.Errorf("timing annotations leaked into stdout:\n%s", par.String())
 	}
 	// Emission must follow registry order regardless of completion order.
 	out := par.String()
@@ -69,11 +62,14 @@ func TestRunAllOrderAndDeterminism(t *testing.T) {
 		}
 		last = at
 	}
-	if !strings.Contains(out, "speedup)") {
-		t.Errorf("parallel run missing speedup line:\n%s", out)
+	if !strings.Contains(parProg.String(), "speedup)") {
+		t.Errorf("parallel run missing speedup line on progress writer:\n%s", parProg.String())
 	}
-	if strings.Contains(serial.String(), "speedup)") {
+	if strings.Contains(serialProg.String(), "speedup)") {
 		t.Errorf("serial run should not print a speedup line")
+	}
+	if !strings.Contains(serialProg.String(), "(alpha in ") {
+		t.Errorf("serial run missing per-experiment timing on progress writer:\n%s", serialProg.String())
 	}
 }
 
@@ -82,12 +78,60 @@ func TestRunAllPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
 	suite[2].Run = func(w io.Writer, opt experiments.Options) error { return boom }
 	for _, workers := range []int{-1, 8} {
-		err := runAll(io.Discard, suite, experiments.Options{Parallel: workers})
+		err := runAll(io.Discard, io.Discard, suite, experiments.Options{Parallel: workers}, "")
 		if err == nil || !errors.Is(err, boom) {
 			t.Errorf("Parallel=%d: want wrapped boom error, got %v", workers, err)
 		}
 		if err != nil && !strings.Contains(err.Error(), "gamma") {
 			t.Errorf("Parallel=%d: error should name the failing experiment: %v", workers, err)
+		}
+	}
+}
+
+// TestArtifactBytesIdenticalAcrossWorkers runs two real, deterministic
+// experiments at 1 and 8 workers and asserts the per-experiment JSON
+// artifacts are byte-identical — the contract that lets CI golden-diff
+// artifact directories regardless of machine size. manifest.json is
+// excluded: it records worker count and wall time by design.
+func TestArtifactBytesIdenticalAcrossWorkers(t *testing.T) {
+	var suite []experiments.Experiment
+	for _, id := range []string{"table3", "fig9"} {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, e)
+	}
+	dirs := map[int]string{1: t.TempDir(), 8: t.TempDir()}
+	for workers, dir := range dirs {
+		opt := experiments.Options{Quick: true, Parallel: workers}
+		if workers == 1 {
+			opt.Parallel = -1
+		}
+		if err := runAll(io.Discard, io.Discard, suite, opt, dir); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+	for _, e := range suite {
+		name := e.ID + ".json"
+		a, err := os.ReadFile(filepath.Join(dirs[1], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[8], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between 1 and 8 workers:\n--- 1 ---\n%s\n--- 8 ---\n%s", name, a, b)
+		}
+		if len(a) == 0 || a[0] != '{' {
+			t.Errorf("%s does not look like a JSON document", name)
+		}
+	}
+	for _, dir := range dirs {
+		if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+			t.Errorf("missing manifest.json: %v", err)
 		}
 	}
 }

@@ -7,6 +7,7 @@
 //	hyve-sim -dataset YT -algo PR -config hyve-opt
 //	hyve-sim -dataset TW -algo BFS -config sd -sram 4
 //	hyve-sim -dataset YT,WK,LJ -algo PR,BFS -config hyve-opt,sd
+//	hyve-sim -dataset YT -algo PR -config hyve-opt -json
 //
 // A sweep (more than one point) fans the points across a worker pool
 // (-parallel, default GOMAXPROCS), buffers each point's report, and
@@ -30,6 +31,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/graphr"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -41,11 +43,12 @@ func main() {
 		sramMB  = flag.Int64("sram", 2, "per-PU on-chip vertex memory in MB (accelerator configs)")
 		verbose = flag.Bool("v", false, "print per-phase detail")
 		par     = flag.Int("parallel", 0, "worker count for sweep points (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut = flag.Bool("json", false, "emit one canonical JSON document per point instead of text")
 	)
 	flag.Parse()
 
-	if err := runSweep(os.Stdout, splitList(*dataset), splitList(*algon), splitList(*config),
-		*sramMB, *verbose, *par); err != nil {
+	if err := runSweep(os.Stdout, os.Stderr, splitList(*dataset), splitList(*algon), splitList(*config),
+		*sramMB, *verbose, *jsonOut, *par); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -66,14 +69,16 @@ func splitList(s string) []string {
 // runSweep runs the cross product of datasets × algorithms × configs.
 // One point streams straight to w; a sweep computes every point into an
 // index-addressed buffer (fanned across the worker pool) and emits them
-// in order, closing with an aggregate-vs-wall-clock speedup line.
-func runSweep(w io.Writer, datasets, algos, configs []string, sramMB int64, verbose bool, par int) error {
+// in order, closing with an aggregate-vs-wall-clock speedup line on
+// progress (stderr in the binary) so w stays pipeable — in particular,
+// -json output on w is a clean concatenation of JSON documents.
+func runSweep(w, progress io.Writer, datasets, algos, configs []string, sramMB int64, verbose, jsonOut bool, par int) error {
 	if len(datasets) == 0 || len(algos) == 0 || len(configs) == 0 {
 		return fmt.Errorf("hyve-sim: -dataset, -algo, and -config must each name at least one value")
 	}
 	n := len(datasets) * len(algos) * len(configs)
 	if n == 1 {
-		return runOne(w, datasets[0], algos[0], configs[0], sramMB, verbose)
+		return runOne(w, datasets[0], algos[0], configs[0], sramMB, verbose, jsonOut)
 	}
 
 	point := func(i int) (dataset, algon, config string) {
@@ -91,7 +96,7 @@ func runSweep(w io.Writer, datasets, algos, configs []string, sramMB int64, verb
 	err := parallel.ForEach(workers, n, func(i int) error {
 		d, a, c := point(i)
 		t0 := time.Now()
-		if err := runOne(&bufs[i], d, a, c, sramMB, verbose); err != nil {
+		if err := runOne(&bufs[i], d, a, c, sramMB, verbose, jsonOut); err != nil {
 			return fmt.Errorf("%s/%s/%s: %w", d, a, c, err)
 		}
 		elapsed[i] = time.Since(t0)
@@ -104,23 +109,25 @@ func runSweep(w io.Writer, datasets, algos, configs []string, sramMB int64, verb
 	var aggregate time.Duration
 	for i := 0; i < n; i++ {
 		d, a, c := point(i)
-		if i > 0 {
-			fmt.Fprintln(w)
+		if !jsonOut {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintf(w, "--- %s %s %s ---\n", d, a, c)
 		}
-		fmt.Fprintf(w, "--- %s %s %s ---\n", d, a, c)
 		if _, err := w.Write(bufs[i].Bytes()); err != nil {
 			return err
 		}
 		aggregate += elapsed[i]
 	}
 	wall := time.Since(start)
-	_, err = fmt.Fprintf(w, "\n%d points: wall clock %v for %v of simulation time, %d workers (%.2fx speedup)\n",
+	_, err = fmt.Fprintf(progress, "\n%d points: wall clock %v for %v of simulation time, %d workers (%.2fx speedup)\n",
 		n, wall.Round(time.Millisecond), aggregate.Round(time.Millisecond), workers,
 		aggregate.Seconds()/wall.Seconds())
 	return err
 }
 
-func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose bool) error {
+func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose, jsonOut bool) error {
 	d, err := graph.DatasetByName(dataset)
 	if err != nil {
 		return err
@@ -133,8 +140,10 @@ func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose bo
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "dataset %s (%s): %d vertices, %d edges (full scale %d/%d, 1/%d instance)\n",
-		d.Name, d.Long, wl.Graph.NumVertices, wl.Graph.NumEdges(), d.FullVertices, d.FullEdges, d.Scale)
+	if !jsonOut {
+		fmt.Fprintf(w, "dataset %s (%s): %d vertices, %d edges (full scale %d/%d, 1/%d instance)\n",
+			d.Name, d.Long, wl.Graph.NumVertices, wl.Graph.NumEdges(), d.FullVertices, d.FullEdges, d.Scale)
+	}
 
 	var rep *energy.Report
 	var detail *core.Detail
@@ -145,7 +154,9 @@ func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose bo
 			return err
 		}
 		rep = &r.Report
-		fmt.Fprintf(w, "GraphR: %d non-empty 8×8 blocks, Navg %.2f\n", r.Detail.NonEmptyBlocks, r.Detail.Navg)
+		if !jsonOut {
+			fmt.Fprintf(w, "GraphR: %d non-empty 8×8 blocks, Navg %.2f\n", r.Detail.NonEmptyBlocks, r.Detail.Navg)
+		}
 	case "cpu":
 		if rep, err = cpusim.Simulate(cpusim.NXgraph(), wl); err != nil {
 			return err
@@ -170,6 +181,10 @@ func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose bo
 		detail = &r.Detail
 	}
 
+	if jsonOut {
+		return writeJSONPoint(w, d, config, rep, detail)
+	}
+
 	fmt.Fprintf(w, "config:      %s\n", rep.Config)
 	fmt.Fprintf(w, "iterations:  %d\n", rep.Iterations)
 	fmt.Fprintf(w, "time:        %v\n", rep.Time)
@@ -192,6 +207,44 @@ func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose bo
 		}
 	}
 	return nil
+}
+
+// writeJSONPoint emits one simulation point as a canonical artifact
+// document: the dataset pinned in the manifest, the report's headline
+// numbers (and, when the core simulator ran, its per-phase detail) as
+// named metrics, and the per-component energy breakdown.
+func writeJSONPoint(w io.Writer, d graph.Dataset, config string, rep *energy.Report, detail *core.Detail) error {
+	art := obs.NewArtifact(
+		fmt.Sprintf("%s-%s-%s", d.Name, rep.Algorithm, config),
+		fmt.Sprintf("%s on %s under %s", rep.Algorithm, d.Name, rep.Config),
+		obs.Manifest{Datasets: []obs.DatasetRef{{
+			Name: d.Name, Long: d.Long, Scale: d.Scale, Seed: d.Seed,
+			FullVertices: d.FullVertices, FullEdges: d.FullEdges,
+		}}})
+	art.AddMetric("iterations", float64(rep.Iterations), "")
+	art.AddMetric("time", rep.Time.Seconds(), "s")
+	art.AddMetric("energy", rep.Energy.Total().Joules(), "J")
+	art.AddMetric("avg_power", rep.AvgPower().Watts(), "W")
+	art.AddMetric("throughput", rep.MTEPS(), "MTEPS")
+	art.AddMetric("efficiency", rep.MTEPSPerWatt(), "MTEPS/W")
+	for _, c := range energy.Components() {
+		if e := rep.Energy.Get(c); e > 0 {
+			art.AddMetric("energy."+c.String(), e.Joules(), "J")
+		}
+	}
+	if detail != nil {
+		art.AddMetric("detail.p", float64(detail.P), "")
+		art.AddMetric("detail.load_time", detail.LoadTime.Seconds(), "s/iter")
+		art.AddMetric("detail.process_time", detail.ProcessTime.Seconds(), "s/iter")
+		art.AddMetric("detail.writeback_time", detail.WritebackTime.Seconds(), "s/iter")
+		art.AddMetric("detail.overhead_time", detail.OverheadTime.Seconds(), "s/iter")
+		if detail.Gate.Transitions > 0 {
+			art.AddMetric("detail.gate_transitions", float64(detail.Gate.Transitions), "")
+			art.AddMetric("detail.gate_saved_energy",
+				(detail.Gate.UngatedEnergy - detail.Gate.GatedEnergy).Joules(), "J")
+		}
+	}
+	return art.EncodeJSON(w)
 }
 
 func accConfig(name string) (core.Config, error) {

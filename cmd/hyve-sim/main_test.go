@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"reflect"
 	"strings"
@@ -46,15 +47,52 @@ func TestRunOneSmokesEveryConfig(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	for _, config := range []string{"hyve-opt", "sd", "graphr", "cpu", "cpu-opt"} {
-		if err := runOne(io.Discard, "YT", "PR", config, 2, true); err != nil {
+		if err := runOne(io.Discard, "YT", "PR", config, 2, true, false); err != nil {
 			t.Errorf("runOne(YT, PR, %s): %v", config, err)
 		}
 	}
-	if err := runOne(io.Discard, "nope", "PR", "hyve", 2, false); err == nil {
+	if err := runOne(io.Discard, "nope", "PR", "hyve", 2, false, false); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := runOne(io.Discard, "YT", "nope", "hyve", 2, false); err == nil {
+	if err := runOne(io.Discard, "YT", "nope", "hyve", 2, false, false); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestRunOneJSON checks -json emits a decodable artifact document with
+// the headline metrics, for both the core simulator and a baseline.
+func TestRunOneJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	for _, config := range []string{"hyve-opt", "graphr"} {
+		var buf bytes.Buffer
+		if err := runOne(&buf, "YT", "PR", config, 2, false, true); err != nil {
+			t.Fatalf("runOne(YT, PR, %s, json): %v", config, err)
+		}
+		var doc struct {
+			Schema  string `json:"schema"`
+			ID      string `json:"id"`
+			Metrics []struct {
+				Name  string  `json:"name"`
+				Value float64 `json:"value"`
+			} `json:"metrics"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("config %s: output is not valid JSON: %v\n%s", config, err, buf.String())
+		}
+		if doc.Schema == "" || doc.ID == "" {
+			t.Errorf("config %s: missing schema/id in %s", config, buf.String())
+		}
+		found := false
+		for _, m := range doc.Metrics {
+			if m.Name == "efficiency" && m.Value > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("config %s: no positive efficiency metric in %s", config, buf.String())
+		}
 	}
 }
 
@@ -68,25 +106,16 @@ func TestRunSweepDeterministic(t *testing.T) {
 	datasets := []string{"YT", "WK"}
 	algos := []string{"PR", "BFS"}
 	configs := []string{"hyve-opt", "sd"}
-	var serial, par bytes.Buffer
-	if err := runSweep(&serial, datasets, algos, configs, 2, false, -1); err != nil {
+	var serial, par, serialProg, parProg bytes.Buffer
+	if err := runSweep(&serial, &serialProg, datasets, algos, configs, 2, false, false, -1); err != nil {
 		t.Fatalf("serial sweep: %v", err)
 	}
-	if err := runSweep(&par, datasets, algos, configs, 2, false, 8); err != nil {
+	if err := runSweep(&par, &parProg, datasets, algos, configs, 2, false, false, 8); err != nil {
 		t.Fatalf("parallel sweep: %v", err)
 	}
-	stripTiming := func(s string) string {
-		lines := strings.Split(s, "\n")
-		var keep []string
-		for _, l := range lines {
-			if strings.Contains(l, "wall clock") {
-				continue
-			}
-			keep = append(keep, l)
-		}
-		return strings.Join(keep, "\n")
-	}
-	if got, want := stripTiming(par.String()), stripTiming(serial.String()); got != want {
+	// With the summary line routed to the progress writer, stdout must be
+	// byte-identical between serial and parallel sweeps.
+	if got, want := par.String(), serial.String(); got != want {
 		t.Errorf("parallel sweep output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
 	}
 	// Dataset-major emission order.
@@ -107,8 +136,11 @@ func TestRunSweepDeterministic(t *testing.T) {
 			}
 		}
 	}
-	if !strings.Contains(out, "8 points:") {
-		t.Errorf("sweep summary line missing:\n%s", out)
+	if !strings.Contains(serialProg.String(), "8 points:") {
+		t.Errorf("sweep summary line missing from progress output:\n%s", serialProg.String())
+	}
+	if strings.Contains(out, "8 points:") {
+		t.Errorf("sweep summary line leaked into stdout:\n%s", out)
 	}
 }
 
@@ -117,17 +149,17 @@ func TestRunSweepSinglePointUnchanged(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	var single, direct bytes.Buffer
-	if err := runSweep(&single, []string{"YT"}, []string{"PR"}, []string{"hyve-opt"}, 2, false, 8); err != nil {
+	if err := runSweep(&single, io.Discard, []string{"YT"}, []string{"PR"}, []string{"hyve-opt"}, 2, false, false, 8); err != nil {
 		t.Fatalf("single-point sweep: %v", err)
 	}
-	if err := runOne(&direct, "YT", "PR", "hyve-opt", 2, false); err != nil {
+	if err := runOne(&direct, "YT", "PR", "hyve-opt", 2, false, false); err != nil {
 		t.Fatalf("runOne: %v", err)
 	}
 	if single.String() != direct.String() {
 		t.Errorf("single-point sweep output differs from direct runOne:\n--- sweep ---\n%s\n--- direct ---\n%s",
 			single.String(), direct.String())
 	}
-	if err := runSweep(io.Discard, nil, []string{"PR"}, []string{"hyve"}, 2, false, 0); err == nil {
+	if err := runSweep(io.Discard, io.Discard, nil, []string{"PR"}, []string{"hyve"}, 2, false, false, 0); err == nil {
 		t.Error("empty dataset list accepted")
 	}
 }

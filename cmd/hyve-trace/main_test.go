@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -33,6 +34,98 @@ func TestCSVLimit(t *testing.T) {
 	}
 	if !strings.Contains(lines[1], ",") {
 		t.Errorf("bad row: %s", lines[1])
+	}
+}
+
+// TestLimitHonored checks -limit caps the record count for both row
+// formats, and that every jsonl line is an independent JSON object.
+func TestLimitHonored(t *testing.T) {
+	for _, format := range []string{"csv", "jsonl"} {
+		var buf bytes.Buffer
+		if err := run(&buf, "YT", "BFS", "hyve", format, 10); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		want := 10
+		if format == "csv" {
+			want++ // header row
+		}
+		if len(lines) != want {
+			t.Errorf("%s: got %d lines, want %d", format, len(lines), want)
+		}
+		if format == "jsonl" {
+			for i, l := range lines {
+				var rec map[string]any
+				if err := json.Unmarshal([]byte(l), &rec); err != nil {
+					t.Fatalf("jsonl line %d is not valid JSON: %v\n%s", i, err, l)
+				}
+				for _, field := range []string{"kind", "addr", "bytes", "step"} {
+					if _, ok := rec[field]; !ok {
+						t.Errorf("jsonl line %d missing %q: %s", i, field, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTimelineIsValidCatapult checks -format timeline emits a document
+// chrome://tracing accepts: a traceEvents array of metadata and complete
+// events with the expected tracks.
+func TestTimelineIsValidCatapult(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "YT", "PR", "hyve-opt", "timeline", 0); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("timeline has no events")
+	}
+	tracks := map[string]bool{}
+	var spans int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				tracks[e.Args["name"].(string)] = true
+			}
+		case "X":
+			spans++
+			if e.Dur == nil || *e.Dur < 0 || e.TS < 0 {
+				t.Errorf("complete event %q has bad ts/dur", e.Name)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if spans == 0 {
+		t.Error("timeline has no complete (X) events")
+	}
+	for _, want := range []string{"controller", "PU 0", "router"} {
+		if !tracks[want] {
+			t.Errorf("missing track %q (have %v)", want, tracks)
+		}
+	}
+	bank := false
+	for name := range tracks {
+		if strings.HasPrefix(name, "edge-bank ") {
+			bank = true
+		}
+	}
+	if !bank {
+		t.Errorf("no edge-memory bank track under hyve-opt (have %v)", tracks)
 	}
 }
 

@@ -268,6 +268,7 @@ func newSim(cfg Config, w Workload) (*machine, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.gate.SetRecorder(cfg.recorder())
 	}
 	return s, nil
 }
@@ -462,7 +463,40 @@ func (s *machine) run() (*Result, error) {
 		EdgesProcessed: edgesProcessed,
 		Iterations:     iters,
 	}
+	s.report(&rep, &detail)
 	return &Result{Report: rep, Detail: detail}, nil
+}
+
+// report publishes the finished run as first-class named metrics: the
+// Algorithm 2 phase anatomy, the Fig. 17 energy components, the
+// off-chip traffic, and the gating outcome. Reporting happens once per
+// run — never per edge — so the hot path is untouched, and a no-op
+// recorder reduces the whole call to a handful of interface calls.
+func (s *machine) report(rep *energy.Report, d *Detail) {
+	rec := s.cfg.recorder()
+	iters := float64(d.Iterations)
+	rec.Count("sim.runs", 1)
+	rec.Count("sim.iterations", int64(d.Iterations))
+	rec.Count("sim.edges.processed", rep.EdgesProcessed)
+	rec.PhaseTime("sim.phase.load", d.LoadTime.Times(iters))
+	rec.PhaseTime("sim.phase.process", d.ProcessTime.Times(iters))
+	rec.PhaseTime("sim.phase.writeback", d.WritebackTime.Times(iters))
+	rec.PhaseTime("sim.phase.overhead", d.OverheadTime.Times(iters))
+	rec.PhaseTime("sim.time.total", rep.Time)
+	for _, c := range energy.Components() {
+		if e := rep.Energy.Get(c); e > 0 {
+			rec.PhaseEnergy("sim.energy."+c.String(), e)
+		}
+	}
+	rec.Count("sim.bytes.src-load", int64(iters)*d.SrcLoadBytes)
+	rec.Count("sim.bytes.dst-load", int64(iters)*d.DstLoadBytes)
+	rec.Count("sim.bytes.writeback", int64(iters)*d.WritebackBytes)
+	rec.Count("sim.bytes.edge-stream", int64(iters)*d.EdgeBytes)
+	if d.Gate.Transitions > 0 {
+		rec.Count("sim.gate.transitions", d.Gate.Transitions)
+		rec.PhaseTime("sim.gate.awake-bank", d.Gate.AwakeBankTime)
+		rec.PhaseEnergy("sim.gate.saved", d.Gate.UngatedEnergy-d.Gate.GatedEnergy)
+	}
 }
 
 // iterationCost walks one full pass of Algorithm 2 over the grid and

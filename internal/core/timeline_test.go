@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTimelineMatchesIterationCost holds BuildTimeline's clock against
+// the cost simulator: for the same configuration and workload, the
+// timeline's last span must end exactly where Detail.IterTime() says an
+// iteration ends (small relative tolerance: IterTime sums its four
+// phase accumulators in a different float order than the walk's single
+// running clock).
+func TestTimelineMatchesIterationCost(t *testing.T) {
+	w := testWorkload(t, "PR")
+	for _, cfg := range []Config{HyVE(), HyVEOpt(), SRAMDRAM()} {
+		tl, err := BuildTimeline(cfg, w)
+		if err != nil {
+			t.Fatalf("BuildTimeline(%s): %v", cfg.Name, err)
+		}
+		r := simulate(t, cfg, w)
+		got := float64(tl.End())
+		want := float64(r.Detail.IterTime())
+		if rel := math.Abs(got-want) / want; rel > 1e-9 {
+			t.Errorf("%s: timeline ends at %v, IterTime is %v (rel err %.2e)",
+				cfg.Name, tl.End(), r.Detail.IterTime(), rel)
+		}
+	}
+}
+
+// TestTimelineTracks checks the expected lanes exist per configuration:
+// PU tracks always, a router track only with data sharing, bank tracks
+// only with power gating (ungated configs get one edge-memory lane).
+func TestTimelineTracks(t *testing.T) {
+	w := testWorkload(t, "PR")
+
+	has := func(tracks []string, name string) bool {
+		for _, tr := range tracks {
+			if tr == name {
+				return true
+			}
+		}
+		return false
+	}
+	countPrefix := func(tracks []string, prefix string) int {
+		n := 0
+		for _, tr := range tracks {
+			if strings.HasPrefix(tr, prefix) {
+				n++
+			}
+		}
+		return n
+	}
+
+	plain, err := BuildTimeline(HyVE(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks := plain.Tracks()
+	cfg := HyVE()
+	for p := 0; p < cfg.NumPUs; p++ {
+		if !has(tracks, fmt.Sprintf("PU %d", p)) {
+			t.Errorf("HyVE timeline missing track PU %d", p)
+		}
+	}
+	if has(tracks, "router") {
+		t.Error("router track present without data sharing")
+	}
+	if countPrefix(tracks, "edge-bank ") != 0 || !has(tracks, "edge-memory") {
+		t.Errorf("ungated config should have one edge-memory lane, got %v", tracks)
+	}
+
+	opt, err := BuildTimeline(HyVEOpt(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks = opt.Tracks()
+	if !has(tracks, "router") {
+		t.Error("HyVE-opt timeline missing router track")
+	}
+	if countPrefix(tracks, "edge-bank ") == 0 {
+		t.Errorf("gated config has no bank tracks: %v", tracks)
+	}
+
+	// Every span must lie within the iteration and have non-negative
+	// duration; bank awake windows may linger only up to the clamp.
+	end := opt.End()
+	for _, s := range opt.Spans() {
+		if s.Dur < 0 || s.Start < 0 || s.End() > end {
+			t.Errorf("span %q on %s out of range: [%v, %v] within [0, %v]",
+				s.Name, s.Track, s.Start, s.End(), end)
+		}
+	}
+}
+
+// TestTimelineRejectsNoSRAM mirrors the tracer's constraint: without the
+// on-chip hierarchy there is no per-PU schedule to render.
+func TestTimelineRejectsNoSRAM(t *testing.T) {
+	w := testWorkload(t, "PR")
+	if _, err := BuildTimeline(AccDRAM(), w); err == nil {
+		t.Error("BuildTimeline accepted a config without on-chip SRAM")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -55,7 +56,17 @@ type HyVEStore struct {
 	Repreprocess  int64 // full preprocessing passes forced by vertex growth
 	MovedLastEdge int64 // deletes that relocated a block's last edge
 	Compactions   int64 // maintenance passes that restored slack
+
+	// rec observes the store's *rare* structural events (overflow
+	// extents, forced re-preprocessing, compactions) — never the
+	// per-request fast path, so the Fig. 20 wall-clock measurement stays
+	// undisturbed. Defaults to the process-global recorder.
+	rec obs.Recorder
 }
+
+// SetRecorder replaces the store's metrics sink (nil restores the
+// no-op).
+func (s *HyVEStore) SetRecorder(r obs.Recorder) { s.rec = obs.OrNop(r) }
 
 type dynBlock struct {
 	edges    []graph.Edge
@@ -139,6 +150,7 @@ func NewHyVEStore(g *graph.Graph, asg partition.Assigner, slack float64) (*HyVES
 		vertexSlack: int(float64(g.NumVertices) * slack),
 		invalid:     map[graph.VertexID]bool{},
 		liveEdges:   int64(g.NumEdges()),
+		rec:         obs.Default(),
 	}
 	for x := 0; x < p; x++ {
 		for y := 0; y < p; y++ {
@@ -191,6 +203,7 @@ func (s *HyVEStore) AddEdge(e graph.Edge) (int, error) {
 		blk.reserved += grow
 		blk.overflowed = true
 		s.Overflows++
+		s.rec.Count("dynamic.overflows", 1)
 	}
 	blk.edges = append(blk.edges, e)
 	k := edgeKey(e)
@@ -245,6 +258,7 @@ func (s *HyVEStore) AddVertex() (graph.VertexID, int, error) {
 		// is a bookkeeping pass; we count it as the paper counts it.
 		s.vertexSlack = int(float64(s.numVertices)*s.slack) + 1
 		s.Repreprocess++
+		s.rec.Count("dynamic.repreprocess", 1)
 	}
 	id := graph.VertexID(s.numVertices)
 	s.numVertices++
@@ -296,6 +310,7 @@ func (s *HyVEStore) Compact() {
 	}
 	s.Overflows = 0
 	s.Compactions++
+	s.rec.Count("dynamic.compactions", 1)
 }
 
 // OverflowedBlocks counts blocks carrying linked overflow extents since

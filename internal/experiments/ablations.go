@@ -25,7 +25,7 @@ import (
 // runAblationInterleave settles §3.1's interleaving argument with the
 // discrete-event channel model: bank vs subbank interleaving at equal
 // port provisioning — same bandwidth, very different awake-bank time.
-func runAblationInterleave(w io.Writer, _ Options) error {
+func runAblationInterleave(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Ablation: edge-memory interleaving policy (§3.1)")
 	cfg := mem.HyVEEdgeChannel(64, 8, 1983*units.Picosecond, 1_000_000/64)
 	const lines = 200_000
@@ -39,11 +39,13 @@ func runAblationInterleave(w io.Writer, _ Options) error {
 		results = append(results, r)
 		t.addf("%v|%.2f|%d|%v", policy, r.Bandwidth()*64, r.BanksTouched, r.AwakeBankTime())
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "interleave", t); err != nil {
 		return err
 	}
 	bw := results[1].Bandwidth() / results[0].Bandwidth()
 	awake := float64(results[0].AwakeBankTime()) / float64(results[1].AwakeBankTime())
+	opt.metric("ablation-interleave.bandwidth_kept", 100*bw, "%")
+	opt.metric("ablation-interleave.awake_time_cut", awake, "x")
 	_, err := fmt.Fprintf(w, "subbank interleaving keeps %.1f%% of the bandwidth while cutting awake bank-time %.1fx\n",
 		100*bw, awake)
 	return err
@@ -102,7 +104,7 @@ func runAblationNVM(w io.Writer, opt Options) error {
 	for _, r := range rows {
 		t.add(r...)
 	}
-	return t.write(w)
+	return opt.writeTable(w, "edge-memory-technology", t)
 }
 
 // runAblationGateTimeout sweeps the BPG idle timeout: too short and
@@ -147,7 +149,7 @@ func runAblationGateTimeout(w io.Writer, opt Options) error {
 	for _, r := range rows {
 		t.add(r...)
 	}
-	return t.write(w)
+	return opt.writeTable(w, "gate-timeout", t)
 }
 
 // runAblationRouter sweeps the §4.2 router reroute cost (the paper
@@ -192,7 +194,7 @@ func runAblationRouter(w io.Writer, opt Options) error {
 	for _, r := range rows {
 		t.add(r...)
 	}
-	return t.write(w)
+	return opt.writeTable(w, "reroute-cost", t)
 }
 
 // runAblationModel contrasts the §2.1 execution models on the device
@@ -266,7 +268,7 @@ func runAblationModel(w io.Writer, opt Options) error {
 	for _, r := range rows {
 		t.add(r...)
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "execution-model", t); err != nil {
 		return err
 	}
 	_, err = fmt.Fprintln(w, "(total ec/vc < 1: edge-centric wins despite traversing more edges)")
@@ -325,7 +327,7 @@ func runAblationPrecision(w io.Writer, opt Options) error {
 		}
 		t.add(row...)
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "precision", t); err != nil {
 		return err
 	}
 	_, err = fmt.Fprintln(w, "(GraphR's 4×4-bit slicing of 16-bit values keeps PR within a few percent)")
@@ -390,7 +392,7 @@ func runAblationTopology(w io.Writer, opt Options) error {
 	for _, r := range rows {
 		t.add(r...)
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "topology", t); err != nil {
 		return err
 	}
 	_, err = fmt.Fprintln(w, "(the hybrid hierarchy wins on every topology; degree skew moves the margin, not the sign)")

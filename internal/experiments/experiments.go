@@ -16,6 +16,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -35,6 +36,55 @@ type Options struct {
 	// registry) ignore this and always run their points serially —
 	// concurrent load would distort the very quantity they report.
 	Parallel int
+	// Artifact, when non-nil, collects a machine-readable mirror of the
+	// run: every table the runner writes to w is also appended here, and
+	// runners record their headline numbers as named metrics. Drivers
+	// build one with NewRunArtifact and serialize it after Run returns.
+	Artifact *obs.Artifact
+}
+
+// NewRunArtifact builds the artifact shell for one experiment run,
+// pinning the resolved dataset list into the manifest. Attach it via
+// Options.Artifact before calling e.Run.
+func NewRunArtifact(e Experiment, o Options) *obs.Artifact {
+	m := obs.Manifest{Quick: o.Quick}
+	for _, d := range o.datasets() {
+		m.Datasets = append(m.Datasets, obs.DatasetRef{
+			Name:         d.Name,
+			Long:         d.Long,
+			Scale:        d.Scale,
+			Seed:         d.Seed,
+			FullVertices: d.FullVertices,
+			FullEdges:    d.FullEdges,
+		})
+	}
+	return obs.NewArtifact(e.ID, e.Title, m)
+}
+
+// writeTable renders t to w and mirrors it, under name, into the run's
+// artifact when one is attached. Every runner emits its tables through
+// this so text and JSON can never drift.
+func (o Options) writeTable(w io.Writer, name string, t *table) error {
+	if o.Artifact != nil {
+		o.Artifact.AddTable(name, t.header, t.rows)
+	}
+	return t.write(w)
+}
+
+// metric records one headline number into the run's artifact (no-op
+// without one).
+func (o Options) metric(name string, value float64, unit string) {
+	if o.Artifact != nil {
+		o.Artifact.AddMetric(name, value, unit)
+	}
+}
+
+// notef mirrors one formatted summary line into the artifact's notes
+// (no-op without one). Callers still print the line to w themselves.
+func (o Options) notef(format string, args ...any) {
+	if o.Artifact != nil {
+		o.Artifact.AddNote(fmt.Sprintf(format, args...))
+	}
 }
 
 // forEach fans the runner's independent points [0, n) across the

@@ -35,7 +35,7 @@ func chipsAt(density int) (*dram.Chip, *rram.Chip, error) {
 // EDP for 100% sequential reads, 100% sequential writes, and a 50/50
 // mix, at 4/8/16 Gb density. Paper shape: DRAM wins delay everywhere;
 // ReRAM wins read energy and read EDP; DRAM wins write EDP.
-func runFig9(w io.Writer, _ Options) error {
+func runFig9(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Fig. 9: normalized performance DRAM/ReRAM (values >1 mean ReRAM better)")
 	t := newTable("workload", "density", "delay", "energy", "EDP")
 	workloads := []struct {
@@ -63,7 +63,7 @@ func runFig9(w io.Writer, _ Options) error {
 				float64(dcost.EDP())/float64(rcost.EDP()))
 		}
 	}
-	return t.write(w)
+	return opt.writeTable(w, "dram-vs-reram", t)
 }
 
 // runFig10 regenerates Fig. 10: normalized EDP (DRAM/ReRAM) of the
@@ -124,7 +124,7 @@ func runFig10(w io.Writer, opt Options) error {
 	for _, r := range rows {
 		t.add(r...)
 	}
-	return t.write(w)
+	return opt.writeTable(w, "vertex-edp", t)
 }
 
 // runFig11 regenerates Fig. 11: vertex-storage comparison GraphR/HyVE —
@@ -191,7 +191,7 @@ func runFig11(w io.Writer, opt Options) error {
 	for _, r := range rows {
 		t.add(r...)
 	}
-	return t.write(w)
+	return opt.writeTable(w, "vertex-storage", t)
 }
 
 // runFig12 regenerates Fig. 12: measured preprocessing speed as the
@@ -242,7 +242,7 @@ func runFig12(w io.Writer, opt Options) error {
 		}
 		t.add(row...)
 	}
-	return t.write(w)
+	return opt.writeTable(w, "preprocessing-speed", t)
 }
 
 // measureBest runs fn reps times and returns the fastest wall time — the
@@ -293,5 +293,5 @@ func runFig13(w io.Writer, opt Options) error {
 	for _, r := range rows {
 		t.add(r...)
 	}
-	return t.write(w)
+	return opt.writeTable(w, "cell-bits", t)
 }

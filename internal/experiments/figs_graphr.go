@@ -52,9 +52,10 @@ func runFig19(w io.Writer, opt Options) error {
 		all = append(all, ratio)
 		t.addf("%s|%d|%.2f", d.Name, p, ratio)
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "preprocessing-ratio", t); err != nil {
 		return err
 	}
+	opt.metric("fig19.mean_ratio", geomean(all), "x")
 	_, err := fmt.Fprintf(w, "mean: %.2fx (paper: 6.73x)\n", geomean(all))
 	return err
 }
@@ -129,9 +130,10 @@ func runFig20(w io.Writer, opt Options) error {
 		ratios = append(ratios, hv/gr)
 		t.addf("%s|%.2f|%.2f|%.2f", d.Name, hv, gr, hv/gr)
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "update-throughput", t); err != nil {
 		return err
 	}
+	opt.metric("fig20.mean_ratio", geomean(ratios), "x")
 	_, err := fmt.Fprintf(w, "mean HyVE/GraphR: %.2fx (paper: 8.04x)\n", geomean(ratios))
 	return err
 }
@@ -182,9 +184,12 @@ func runFig21(w io.Writer, opt Options) error {
 			t.addf("%s|%s|%.2f|%.2f|%.2f", a, d.Name, p.dr, p.er, p.xr)
 		}
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "graphr-vs-hyve", t); err != nil {
 		return err
 	}
+	opt.metric("fig21.mean_delay_ratio", geomean(dAll), "x")
+	opt.metric("fig21.mean_energy_ratio", geomean(eAll), "x")
+	opt.metric("fig21.mean_edp_ratio", geomean(edpAll), "x")
 	_, err = fmt.Fprintf(w, "means: delay %.2fx (paper 5.12x), energy %.2fx (paper 2.83x), EDP %.2fx (paper 17.63x)\n",
 		geomean(dAll), geomean(eAll), geomean(edpAll))
 	return err

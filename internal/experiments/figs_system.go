@@ -47,9 +47,10 @@ func runFig14(w io.Writer, opt Options) error {
 		}
 		t.addf("%s|mean|%.2f", a, geomean(per))
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "data-sharing-improvement", t); err != nil {
 		return err
 	}
+	opt.metric("fig14.mean_improvement", geomean(imps), "x")
 	_, err = fmt.Fprintf(w, "overall mean: %.2fx (paper: 1.60x)\n", geomean(imps))
 	return err
 }
@@ -89,9 +90,10 @@ func runFig15(w io.Writer, opt Options) error {
 			t.addf("%s|%s|%.2f", a, d.Name, imps[ai*len(ds)+di])
 		}
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "power-gating-improvement", t); err != nil {
 		return err
 	}
+	opt.metric("fig15.mean_improvement", geomean(imps), "x")
 	_, err = fmt.Fprintf(w, "overall mean: %.2fx (paper: 1.53x)\n", geomean(imps))
 	return err
 }
@@ -159,12 +161,13 @@ func runFig16(w io.Writer, opt Options) error {
 				ratios[name] = append(ratios[name], rows["acc+HyVE-opt"]/rows[name])
 			}
 		}
-		if err := t.write(w); err != nil {
+		if err := opt.writeTable(w, a, t); err != nil {
 			return err
 		}
 	}
 	fmt.Fprintln(w, "\nacc+HyVE-opt improvement (geomean) over:")
 	for _, name := range fig16Order[:len(fig16Order)-1] {
+		opt.metric("fig16.improvement_over."+name, geomean(ratios[name]), "x")
 		fmt.Fprintf(w, "  %-14s %.2fx\n", name, geomean(ratios[name]))
 	}
 	return nil
@@ -233,13 +236,14 @@ func runFig17(w io.Writer, opt Options) error {
 		sdMem = append(sdMem, p.sdMem)
 		optMem = append(optMem, p.optMem)
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "energy-breakdown", t); err != nil {
 		return err
 	}
 	var ratios []float64
 	for i := range sdMem {
 		ratios = append(ratios, optMem[i]/sdMem[i])
 	}
+	opt.metric("fig17.memory_energy_reduction", 100*(1-geomean(ratios)), "%")
 	_, err = fmt.Fprintf(w, "memory energy reduction opt vs SD (geomean): %.2f%% (paper: 86.17%%)\n",
 		100*(1-geomean(ratios)))
 	return err
@@ -280,5 +284,5 @@ func runFig18(w io.Writer, opt Options) error {
 		}
 		t.addf("%s|geomean|%.3f", a, geomean(per))
 	}
-	return t.write(w)
+	return opt.writeTable(w, "time-ratio", t)
 }

@@ -38,14 +38,14 @@ func runTable1(w io.Writer, opt Options) error {
 	for _, r := range rows {
 		t.add(r...)
 	}
-	return t.write(w)
+	return opt.writeTable(w, "navg", t)
 }
 
 // runTable3 regenerates Table 3: per-read energy, period, and power per
 // bit for the energy- and latency-optimized ReRAM bank designs at
 // 64–512-bit output. The chosen design is the minimum-power/bit row
 // (energy-optimized, 512 bits).
-func runTable3(w io.Writer, _ Options) error {
+func runTable3(w io.Writer, opt Options) error {
 	fmt.Fprintln(w, "Table 3: ReRAM bank power under different configurations")
 	t := newTable("objective", "output", "energy (pJ)", "period (ps)", "power/bit (mW)")
 	best := rram.Table3[0]
@@ -65,9 +65,11 @@ func runTable3(w io.Writer, _ Options) error {
 			best = op
 		}
 	}
-	if err := t.write(w); err != nil {
+	if err := opt.writeTable(w, "bank-power", t); err != nil {
 		return err
 	}
+	opt.metric("table3.chosen_power_per_bit", best.PowerPerBit().Milliwatts(), "mW")
+	opt.notef("chosen design: %v / %d-bit output", best.Optimize, best.OutputBits)
 	_, err := fmt.Fprintf(w, "chosen design: %v / %d-bit output (%.2f mW/bit)\n",
 		best.Optimize, best.OutputBits, best.PowerPerBit().Milliwatts())
 	return err
@@ -134,7 +136,7 @@ func runTable4(w io.Writer, opt Options) error {
 		for _, row := range rows[ci*perCombo : (ci+1)*perCombo] {
 			t.add(row...)
 		}
-		if err := t.write(w); err != nil {
+		if err := opt.writeTable(w, combo.label, t); err != nil {
 			return err
 		}
 	}

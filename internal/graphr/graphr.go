@@ -25,6 +25,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/units"
 )
@@ -43,6 +44,18 @@ type Config struct {
 	RRAM rram.Config
 	// BlockDim is the vertex width of a block (8 in GraphR).
 	BlockDim int
+	// Recorder, when non-nil, receives the run's metrics (phase times,
+	// per-component energy, block counts); nil falls back to the
+	// process-global obs.Default().
+	Recorder obs.Recorder
+}
+
+// recorder resolves the run's metrics sink.
+func (c Config) recorder() obs.Recorder {
+	if c.Recorder != nil {
+		return c.Recorder
+	}
+	return obs.Default()
 }
 
 // Default returns the published GraphR configuration.
@@ -208,6 +221,20 @@ func Simulate(cfg Config, w core.Workload) (*Result, error) {
 		Energy:         bd,
 		EdgesProcessed: edgesProcessed,
 		Iterations:     iters,
+	}
+
+	rec := cfg.recorder()
+	rec.Count("graphr.runs", 1)
+	rec.Count("graphr.blocks.nonempty", d.NonEmptyBlocks)
+	rec.Count("graphr.edges.processed", edgesProcessed)
+	rec.PhaseTime("graphr.phase.compute", d.ComputeTime.Times(float64(iters)))
+	rec.PhaseTime("graphr.phase.stream", d.StreamTime.Times(float64(iters)))
+	rec.PhaseTime("graphr.phase.vertex", d.VertexTime.Times(float64(iters)))
+	rec.PhaseTime("graphr.time.total", total)
+	for _, c := range energy.Components() {
+		if e := bd.Get(c); e > 0 {
+			rec.PhaseEnergy("graphr.energy."+c.String(), e)
+		}
 	}
 	return &Result{Report: rep, Detail: d}, nil
 }

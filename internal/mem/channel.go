@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -192,6 +193,12 @@ func SimulateStream(cfg ChannelConfig, policy InterleavePolicy, lines int64) (St
 			res.BankWindow[b] = last[b] - first[b]
 		}
 	}
+	rec := obs.Default()
+	rec.Count("mem.channel.streams", 1)
+	rec.Count("mem.channel.lines", lines)
+	rec.Count("mem.channel.banks-touched", int64(res.BanksTouched))
+	rec.PhaseTime("mem.channel."+policy.String(), finish)
+	rec.PhaseTime("mem.channel.awake-bank", res.AwakeBankTime())
 	return res, nil
 }
 

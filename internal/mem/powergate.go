@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -65,7 +66,13 @@ type GatedBanks struct {
 	Ungated units.Power
 
 	stats GateStats
+	rec   obs.Recorder
 }
+
+// SetRecorder routes the gate's per-phase outcomes (transitions, awake
+// bank-time, gated energy) into r as they accrue. Nil restores the
+// no-op.
+func (g *GatedBanks) SetRecorder(r obs.Recorder) { g.rec = obs.OrNop(r) }
 
 // GateStats accumulates what the gating did.
 type GateStats struct {
@@ -89,7 +96,7 @@ func NewGatedBanks(p PowerGateParams, bankLeak units.Power, totalBanks int, unga
 	if bankLeak < 0 || ungated < 0 {
 		return nil, fmt.Errorf("mem: negative leakage")
 	}
-	return &GatedBanks{Params: p, BankLeak: bankLeak, TotalBanks: totalBanks, Ungated: ungated}, nil
+	return &GatedBanks{Params: p, BankLeak: bankLeak, TotalBanks: totalBanks, Ungated: ungated, rec: obs.Nop{}}, nil
 }
 
 // Streaming accounts a phase of duration d in which the sequential edge
@@ -130,6 +137,10 @@ func (g *GatedBanks) Streaming(d units.Time, banksTouched int) (units.Energy, un
 	g.stats.UngatedEnergy += g.ungatedOver(d)
 	g.stats.TransitionSpend += trans
 	g.stats.LatencyPenalty += penalty
+	rec := obs.OrNop(g.rec)
+	rec.Count("mem.gate.transitions", int64(banksTouched))
+	rec.PhaseTime("mem.gate.awake-bank", awakeBankTime)
+	rec.PhaseEnergy("mem.gate.gated", gated)
 	return gated, penalty
 }
 
@@ -143,6 +154,9 @@ func (g *GatedBanks) Idle(d units.Time) units.Energy {
 	g.stats.TotalTime += d
 	g.stats.GatedEnergy += gated
 	g.stats.UngatedEnergy += g.ungatedOver(d)
+	rec := obs.OrNop(g.rec)
+	rec.PhaseTime("mem.gate.idle", d)
+	rec.PhaseEnergy("mem.gate.gated", gated)
 	return gated
 }
 

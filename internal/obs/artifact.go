@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ArtifactSchema identifies the JSON document format version emitted by
+// EncodeJSON. Bump on any breaking field change.
+const ArtifactSchema = "hyve/artifact/v1"
+
+// Artifact is the canonical machine-readable mirror of one experiment
+// run: every table the runner rendered, plus named headline metrics,
+// plus the manifest describing exactly what was run. Content is
+// deterministic — it derives only from the runner's (deterministic)
+// results, never from wall-clock or worker count — so artifact bytes
+// are identical at any parallelism, same as the golden text tables.
+type Artifact struct {
+	Schema   string   `json:"schema"`
+	ID       string   `json:"id"`
+	Title    string   `json:"title"`
+	Manifest Manifest `json:"manifest"`
+	Metrics  []Metric `json:"metrics,omitempty"`
+	Tables   []Table  `json:"tables,omitempty"`
+	Notes    []string `json:"notes,omitempty"`
+
+	// mu guards the slices: runners append only from their serial
+	// emission sections, but the lock keeps a misbehaving concurrent
+	// caller from corrupting the document.
+	mu sync.Mutex
+}
+
+// Manifest records what a run actually ran: the dataset instances (name,
+// scale divisor, generator seed, instance sizes) and the sweep mode.
+// Worker count is deliberately absent — it lives in the run-level
+// manifest (see RunManifest) precisely because per-experiment artifacts
+// must be byte-identical across worker counts.
+type Manifest struct {
+	Quick    bool         `json:"quick"`
+	Datasets []DatasetRef `json:"datasets,omitempty"`
+}
+
+// DatasetRef pins one dataset instance well enough to reproduce it.
+type DatasetRef struct {
+	Name         string `json:"name"`
+	Long         string `json:"long,omitempty"`
+	Scale        int    `json:"scale"`
+	Seed         uint64 `json:"seed"`
+	FullVertices int64  `json:"full_vertices"`
+	FullEdges    int64  `json:"full_edges"`
+}
+
+// Metric is one named headline number ("fig14.mean_improvement").
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// Table mirrors one rendered text table cell-for-cell.
+type Table struct {
+	Name   string     `json:"name,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// NewArtifact returns an empty artifact shell for one experiment.
+func NewArtifact(id, title string, m Manifest) *Artifact {
+	return &Artifact{Schema: ArtifactSchema, ID: id, Title: title, Manifest: m}
+}
+
+// AddTable appends a table, deep-copying header and rows so the caller
+// may keep mutating its own storage.
+func (a *Artifact) AddTable(name string, header []string, rows [][]string) {
+	t := Table{Name: name, Header: append([]string(nil), header...)}
+	t.Rows = make([][]string, len(rows))
+	for i, r := range rows {
+		t.Rows[i] = append([]string(nil), r...)
+	}
+	a.mu.Lock()
+	a.Tables = append(a.Tables, t)
+	a.mu.Unlock()
+}
+
+// AddMetric appends one named value.
+func (a *Artifact) AddMetric(name string, value float64, unit string) {
+	a.mu.Lock()
+	a.Metrics = append(a.Metrics, Metric{Name: name, Value: value, Unit: unit})
+	a.mu.Unlock()
+}
+
+// AddNote appends one free-form line (the runner's non-tabular output
+// worth preserving).
+func (a *Artifact) AddNote(note string) {
+	a.mu.Lock()
+	a.Notes = append(a.Notes, note)
+	a.mu.Unlock()
+}
+
+// EncodeJSON writes the artifact as an indented JSON document. Encoding
+// is canonical: struct-ordered fields, two-space indent, trailing
+// newline — two artifacts with equal content encode to equal bytes.
+func (a *Artifact) EncodeJSON(w io.Writer) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("obs: encoding artifact %s: %w", a.ID, err)
+	}
+	return nil
+}
+
+// RunManifest is the run-level index written alongside per-experiment
+// artifacts (manifest.json): which experiments ran, with what options,
+// and the host-side facts — worker count, wall time — that are allowed
+// to vary run to run and therefore must stay out of the per-experiment
+// documents.
+type RunManifest struct {
+	Schema      string        `json:"schema"`
+	Tool        string        `json:"tool"`
+	Quick       bool          `json:"quick"`
+	Workers     int           `json:"workers"`
+	WallSeconds float64       `json:"wall_seconds"`
+	Experiments []RunArtifact `json:"experiments"`
+}
+
+// RunArtifact is one manifest entry.
+type RunArtifact struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	File    string  `json:"file"`
+	Seconds float64 `json:"seconds"`
+}
+
+// EncodeJSON writes the run manifest as an indented JSON document.
+func (m *RunManifest) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("obs: encoding run manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Expvar returns the process-wide expvar-backed Recorder, publishing
+// everything under the single expvar map "hyve" (visible at
+// /debug/vars once a driver serves net/http/pprof). Counters publish
+// as integers; gauges and timers as floats; phase times in seconds
+// (key suffix "_s") and energies in joules (key suffix "_j"), so the
+// endpoint shows human-scale numbers.
+//
+// The map is published lazily exactly once per process — expvar panics
+// on duplicate names — and the same Recorder is returned every call.
+func Expvar() Recorder {
+	expvarOnce.Do(func() {
+		expvarRec = &expvarRecorder{m: expvar.NewMap("hyve")}
+	})
+	return expvarRec
+}
+
+var (
+	expvarOnce sync.Once
+	expvarRec  *expvarRecorder
+)
+
+type expvarRecorder struct {
+	m *expvar.Map
+}
+
+func (r *expvarRecorder) Count(name string, delta int64) {
+	r.m.Add(name, delta)
+}
+
+func (r *expvarRecorder) Gauge(name string, v float64) {
+	f := new(expvar.Float)
+	f.Set(v)
+	r.m.Set(name, f)
+}
+
+func (r *expvarRecorder) PhaseTime(phase string, t units.Time) {
+	r.m.AddFloat(phase+"_s", t.Seconds())
+}
+
+func (r *expvarRecorder) PhaseEnergy(component string, e units.Energy) {
+	r.m.AddFloat(component+"_j", e.Joules())
+}
+
+func (r *expvarRecorder) Timer(name string) func() {
+	start := time.Now()
+	return func() {
+		r.m.AddFloat(name+"_s", time.Since(start).Seconds())
+	}
+}

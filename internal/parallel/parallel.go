@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Workers resolves a requested worker count: values above zero are taken
@@ -40,9 +42,17 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if w > n {
 		w = n
 	}
+	rec := obs.Default()
+	point := func(i int) error {
+		rec.Count("parallel.points.inflight", 1)
+		err := fn(i)
+		rec.Count("parallel.points.inflight", -1)
+		rec.Count("parallel.points.completed", 1)
+		return err
+	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := point(i); err != nil {
 				return err
 			}
 		}
@@ -65,7 +75,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := point(i); err != nil {
 					mu.Lock()
 					if i < firstIdx {
 						firstIdx, firstErr = i, err
