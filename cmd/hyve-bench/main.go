@@ -66,21 +66,45 @@ func main() {
 	}
 
 	opt := experiments.Options{Quick: *quick, Parallel: *par}
-	todo := experiments.All()
-	if *run != "" {
-		todo = nil
-		for _, id := range strings.Split(*run, ",") {
-			e, err := experiments.ByID(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			todo = append(todo, e)
-		}
+	todo, err := selectExperiments(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	if err := runAll(os.Stdout, os.Stderr, todo, opt, *artDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// selectExperiments resolves a -run list to experiments, in the order
+// given. Unknown ids error (ByID names the valid ones), duplicates error
+// rather than silently running an experiment twice, and an all-empty
+// list ("", ",") errors rather than running nothing.
+func selectExperiments(run string) ([]experiments.Experiment, error) {
+	if run == "" {
+		return experiments.All(), nil
+	}
+	var todo []experiments.Experiment
+	seen := make(map[string]bool)
+	for _, id := range strings.Split(run, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("hyve-bench: experiment %q listed twice in -run", id)
+		}
+		seen[id] = true
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		todo = append(todo, e)
+	}
+	if len(todo) == 0 {
+		return nil, fmt.Errorf("hyve-bench: -run %q selects no experiments", run)
+	}
+	return todo, nil
 }

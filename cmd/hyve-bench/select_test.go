@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestSelectExperiments(t *testing.T) {
+	all := experiments.All()
+	if len(all) < 2 {
+		t.Skip("registry too small to exercise selection")
+	}
+	a, b := all[0].ID, all[1].ID
+
+	got, err := selectExperiments("")
+	if err != nil || len(got) != len(all) {
+		t.Fatalf("empty -run: got %d experiments, err %v; want all %d", len(got), err, len(all))
+	}
+
+	got, err = selectExperiments(b + ", " + a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != b || got[1].ID != a {
+		t.Fatalf("order not preserved: %v", got)
+	}
+
+	// Empty items are tolerated, an all-empty list is not.
+	got, err = selectExperiments(a + ",," + b + ",")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("stray commas: got %d experiments, err %v", len(got), err)
+	}
+	if _, err := selectExperiments(","); err == nil {
+		t.Error("all-empty -run selected something")
+	}
+}
+
+func TestSelectExperimentsUnknown(t *testing.T) {
+	_, err := selectExperiments("no-such-id")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	// The error must name at least one valid id so the user can recover.
+	if !strings.Contains(err.Error(), experiments.All()[0].ID) {
+		t.Errorf("error does not list valid ids: %v", err)
+	}
+}
+
+func TestSelectExperimentsDuplicate(t *testing.T) {
+	id := experiments.All()[0].ID
+	_, err := selectExperiments(id + "," + id)
+	if err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if !strings.Contains(err.Error(), id) || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("unhelpful duplicate error: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+// Command hyve-check runs the differential-conformance suite: seeded
+// random (dataset, algorithm, configuration) points on which every
+// model of the machine — cost simulator, controller trace, analytic
+// equations, GraphR model and crossbar emulation, functional engines —
+// must agree within documented tolerance.
+//
+// Usage:
+//
+//	hyve-check                       # 30s budget, seed 1
+//	hyve-check -seed 42 -points 1 -v # reproduce one reported point
+//	hyve-check -list                 # invariants and tolerances
+//
+// Exit status is 0 when every invariant held at every point, 1 when a
+// violation was found, 2 on setup failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/check"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("hyve-check", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	seed := fs.Uint64("seed", 1, "base seed; point i uses seed+i")
+	points := fs.Int("points", 0, "number of points to sweep (0 = until -duration)")
+	duration := fs.Duration("duration", 30*time.Second, "wall-clock budget (0 = until -points)")
+	verbose := fs.Bool("v", false, "print every point, not just failures")
+	list := fs.Bool("list", false, "list invariants and tolerances, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(errOut, "hyve-check: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintf(out, "%-22s %s\n", "invariant", "tolerance")
+		for _, inv := range check.Invariants() {
+			fmt.Fprintf(out, "%-22s %s\n", inv.Name, inv.Tolerance)
+		}
+		return 0
+	}
+
+	sum, err := check.Run(check.Options{
+		Seed:     *seed,
+		Points:   *points,
+		Duration: *duration,
+		Verbose:  *verbose,
+		Out:      out,
+	})
+	if err != nil {
+		fmt.Fprintf(errOut, "hyve-check: %v\n", err)
+		return 2
+	}
+	sum.WriteReport(out)
+	if !sum.OK() {
+		return 1
+	}
+	return 0
+}

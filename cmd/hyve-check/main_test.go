@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-seed", "1", "-points", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "2 points") {
+		t.Errorf("report does not mention point count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("passing sweep has no PASS verdict:\n%s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"engine-vs-reference", "cost-vs-trace", "graphr-vs-emulation", "artifact-roundtrip"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list omits %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, &out, &errOut); code != 2 {
+		t.Errorf("stray positional argument exited %d, want 2", code)
+	}
+}

@@ -1,0 +1,60 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+)
+
+// CheckInvariants verifies the internal consistency of the Eq. (1)–(6)
+// model at one design point: non-negative counts and per-op costs, the
+// max-vs-mean pipeline bound (Time ≥ TimeLowerBound), the Cauchy–Schwarz
+// bound (EDP ≥ EDPLowerBound), and the decomposition identity that the
+// six weighted √(T·E) terms square back to the lower bound exactly.
+func (m Model) CheckInvariants() error {
+	if m.N.SeqVertexReads < 0 || m.N.SeqVertexWrites < 0 || m.N.EdgeReads < 0 {
+		return fmt.Errorf("analytic: negative counts %+v", m.N)
+	}
+	costs := []struct {
+		name string
+		c    device.Cost
+	}{
+		{"seq-vertex-read", m.C.SeqVertexRead},
+		{"seq-vertex-write", m.C.SeqVertexWrite},
+		{"rand-vertex-read", m.C.RandVertexRead},
+		{"rand-vertex-write", m.C.RandVertexWrite},
+		{"edge-read", m.C.EdgeRead},
+		{"pu", m.C.PU},
+	}
+	for _, op := range costs {
+		if op.c.Latency < 0 || op.c.Energy < 0 {
+			return fmt.Errorf("analytic: negative %s cost %v", op.name, op.c)
+		}
+	}
+
+	const slack = 1e-9
+	t, lb := m.Time(), m.TimeLowerBound()
+	if float64(t) < float64(lb)*(1-slack) {
+		return fmt.Errorf("analytic: Time %v below its Eq. 1 lower bound %v", t, lb)
+	}
+	e := m.Energy()
+	if e < 0 || math.IsNaN(float64(e)) {
+		return fmt.Errorf("analytic: bad energy %v", e)
+	}
+	edp, edpLB := m.EDP(), m.EDPLowerBound()
+	if float64(edp) < float64(edpLB)*(1-slack) {
+		return fmt.Errorf("analytic: EDP %v below its Eq. 6 lower bound %v", edp, edpLB)
+	}
+	var sum float64
+	for _, term := range m.TermEDP() {
+		if term < 0 || math.IsNaN(term) {
+			return fmt.Errorf("analytic: bad Eq. 6 term %v", term)
+		}
+		sum += term
+	}
+	if sq := sum * sum; math.Abs(sq-float64(edpLB)) > slack*math.Max(sq, float64(edpLB)) {
+		return fmt.Errorf("analytic: (Σ terms)² = %g does not reproduce EDP lower bound %g", sq, float64(edpLB))
+	}
+	return nil
+}

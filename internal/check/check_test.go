@@ -1,0 +1,121 @@
+package check
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewPointDeterministic(t *testing.T) {
+	a, err := NewPoint(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPoint(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same seed drew different points: %s vs %s", a, b)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("same seed drew different graphs: %d vs %d edges",
+			a.Graph.NumEdges(), b.Graph.NumEdges())
+	}
+	c, err := NewPoint(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() && a.Graph.NumEdges() == c.Graph.NumEdges() {
+		t.Fatalf("seeds 7 and 8 drew the identical point %s", a)
+	}
+}
+
+func TestRunSweepPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is not short")
+	}
+	var buf bytes.Buffer
+	sum, err := Run(Options{Seed: 1, Points: 8, Out: &buf})
+	if err != nil {
+		t.Fatalf("sweep errored: %v\n%s", err, buf.String())
+	}
+	if !sum.OK() {
+		sum.WriteReport(&buf)
+		t.Fatalf("sweep found violations:\n%s", buf.String())
+	}
+	if sum.Points != 8 {
+		t.Fatalf("ran %d points, want 8", sum.Points)
+	}
+	for _, inv := range sum.Invariants {
+		if inv.Runs == 0 {
+			t.Errorf("invariant %q never ran in 8 points", inv.Name)
+		}
+	}
+}
+
+func TestRunDurationBudget(t *testing.T) {
+	sum, err := Run(Options{Seed: 1, Duration: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Points < 1 {
+		t.Fatalf("expired budget must still run one point, ran %d", sum.Points)
+	}
+}
+
+func TestRunDefaultBudget(t *testing.T) {
+	// Neither Points nor Duration: documented default size. Only check
+	// the plumbing (point count), not the invariants, to keep this fast —
+	// TestRunSweepPasses covers correctness.
+	if testing.Short() {
+		t.Skip("default sweep is not short")
+	}
+	sum, err := Run(Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Points != DefaultPoints {
+		t.Fatalf("default sweep ran %d points, want %d", sum.Points, DefaultPoints)
+	}
+	if !sum.OK() {
+		var buf bytes.Buffer
+		sum.WriteReport(&buf)
+		t.Fatalf("default sweep found violations:\n%s", buf.String())
+	}
+}
+
+func TestWriteReportListsEveryInvariant(t *testing.T) {
+	sum, err := Run(Options{Seed: 1, Points: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sum.WriteReport(&buf)
+	out := buf.String()
+	for _, inv := range Invariants() {
+		if !strings.Contains(out, inv.Name) {
+			t.Errorf("report omits invariant %q:\n%s", inv.Name, out)
+		}
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("passing report lacks verdict:\n%s", out)
+	}
+}
+
+func TestInvariantRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, inv := range Invariants() {
+		if inv.Name == "" || inv.Check == nil {
+			t.Fatalf("malformed invariant %+v", inv)
+		}
+		if inv.Tolerance == "" {
+			t.Errorf("invariant %q does not document its tolerance", inv.Name)
+		}
+		if seen[inv.Name] {
+			t.Errorf("duplicate invariant name %q", inv.Name)
+		}
+		seen[inv.Name] = true
+	}
+}

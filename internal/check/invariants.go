@@ -1,0 +1,382 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/algo"
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/device/dram"
+	"repro/internal/device/rram"
+	"repro/internal/device/sram"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/graphr"
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/partition"
+)
+
+// Invariant is one cross-model or structural property checked at every
+// point it applies to.
+type Invariant struct {
+	// Name identifies the invariant in reports ("cost-vs-trace").
+	Name string
+	// Tolerance documents the agreement the check demands.
+	Tolerance string
+	// Applies filters points (nil = every point).
+	Applies func(*Point) bool
+	// Check runs the invariant; a non-nil error is a conformance failure.
+	Check func(*Point) error
+}
+
+// Invariants returns the full registry, in evaluation order.
+func Invariants() []Invariant {
+	return []Invariant{
+		{
+			Name:      "engine-vs-reference",
+			Tolerance: "BFS/CC exact; PR/SpMV ≤1e-9; SSSP ≤1e-6 (rel above 1)",
+			Check: func(p *Point) error {
+				return algo.CheckAgainstReference(p.Prog, p.Graph)
+			},
+		},
+		{
+			Name:      "blocked-vs-flat",
+			Tolerance: "≤1e-9 (blocked streaming reorders float accumulation)",
+			Check:     checkBlockedVsFlat,
+		},
+		{
+			Name:      "cost-vs-trace",
+			Tolerance: "times ≤1e-9 rel; trace traffic byte-exact vs Detail counters",
+			Check: func(p *Point) error {
+				r, err := p.Sim()
+				if err != nil {
+					return err
+				}
+				return core.CheckResult(p.Cfg, p.Workload, r)
+			},
+		},
+		{
+			Name:      "analytic-decomposition",
+			Tolerance: "Time ≥ bound, EDP ≥ Eq. 6 bound, (Σ terms)² = bound ≤1e-9",
+			Check:     checkAnalyticDecomposition,
+		},
+		{
+			Name:      "analytic-vs-sim",
+			Tolerance: "|E|/N ≤ ProcessTime/perEdgeStage ≤ |E| (Eq. 1 pipeline bound)",
+			Check:     checkAnalyticVsSim,
+		},
+		{
+			Name:      "graphr-vs-emulation",
+			Tolerance: "occupancy exact; compute ≤1e-9 rel; crossbar PR error ≤10%",
+			Check: func(p *Point) error {
+				cfg := graphr.Default()
+				cfg.Parallel = []int{8, 16, 32}[int(p.Seed%3)]
+				return graphr.CheckModelVsEmulation(cfg, p.Workload)
+			},
+		},
+		{
+			Name:      "gate-vs-replay",
+			Tolerance: "awake time within IdleTimeout×banks + 10% of ProcessTime",
+			Applies:   func(p *Point) bool { return p.Cfg.PowerGating },
+			Check:     checkGateVsReplay,
+		},
+		{
+			Name:      "partition-coverage",
+			Tolerance: "exact: blocks tile and cover the edge multiset",
+			Check:     checkPartitionCoverage,
+		},
+		{
+			Name:      "dynamic-stores",
+			Tolerance: "exact: HyVE and GraphR stores agree on live edges",
+			Check:     checkDynamicStores,
+		},
+		{
+			Name:      "artifact-roundtrip",
+			Tolerance: "byte-exact canonical re-encoding after decode",
+			Check:     checkArtifactRoundtrip,
+		},
+	}
+}
+
+// checkBlockedVsFlat compares the blocked (grid-scheduled) functional
+// execution against the flat edge-order run: the synchronous GAS
+// semantics make results independent of traversal order, so the two must
+// agree to float reassociation noise.
+func checkBlockedVsFlat(p *Point) error {
+	flat, err := p.Flat()
+	if err != nil {
+		return err
+	}
+	blocked, err := core.RunFunctional(p.Cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	if blocked.Iterations != flat.Iterations {
+		return fmt.Errorf("check: blocked run took %d iterations, flat took %d",
+			blocked.Iterations, flat.Iterations)
+	}
+	return algo.CompareValues("blocked vs flat", blocked.Values, flat.Values, 1e-9)
+}
+
+// analyticModel instantiates the Eq. 1–16 model at the point's operating
+// points: global vertex memory per the config, local memory the on-chip
+// SRAM (or the global device in the SRAM-less baselines), the edge
+// device's sequential read, and the CMOS PU op.
+func analyticModel(p *Point) (analytic.Model, error) {
+	_, gp, err := core.Grid(p.Cfg, p.Workload)
+	if err != nil {
+		return analytic.Model{}, err
+	}
+	counts, err := analytic.HyVECounts(int64(p.Graph.NumVertices), int64(p.Graph.NumEdges()), gp, p.Cfg.NumPUs)
+	if err != nil {
+		return analytic.Model{}, err
+	}
+	rchip, err := rram.New(p.Cfg.RRAM)
+	if err != nil {
+		return analytic.Model{}, err
+	}
+	dchip, err := dram.New(p.Cfg.DRAM)
+	if err != nil {
+		return analytic.Model{}, err
+	}
+	pick := func(k core.MemKind) device.Memory {
+		if k == core.MemReRAM {
+			return rchip
+		}
+		return dchip
+	}
+	global := pick(p.Cfg.VertexMemory)
+	local := global
+	if p.Cfg.UseOnChipSRAM {
+		s, err := sram.New(p.Cfg.SRAMBytes)
+		if err != nil {
+			return analytic.Model{}, err
+		}
+		local = s
+	}
+	costs := analytic.VertexOps(global, local)
+	costs.EdgeRead = pick(p.Cfg.EdgeMemory).Read(true)
+	costs.PU = device.NewCMOSPU().Op()
+	return analytic.Model{N: counts, C: costs}, nil
+}
+
+func checkAnalyticDecomposition(p *Point) error {
+	m, err := analyticModel(p)
+	if err != nil {
+		return err
+	}
+	return m.CheckInvariants()
+}
+
+// checkAnalyticVsSim holds the simulator's per-iteration streaming time
+// against the Eq. 1 per-edge pipeline bound: a perfectly balanced
+// schedule streams |E|/N edges on the critical PU, a fully serialized
+// one streams |E|.
+func checkAnalyticVsSim(p *Point) error {
+	r, err := p.Sim()
+	if err != nil {
+		return err
+	}
+	perEdge, err := core.PerEdgeStage(p.Cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	if perEdge <= 0 {
+		return fmt.Errorf("check: non-positive per-edge stage %v", perEdge)
+	}
+	e := float64(p.Graph.NumEdges())
+	lo := perEdge.Times(e / float64(p.Cfg.NumPUs))
+	hi := perEdge.Times(e)
+	const slack = 1e-9
+	got := float64(r.Detail.ProcessTime)
+	if got < float64(lo)*(1-slack) || got > float64(hi)*(1+slack) {
+		return fmt.Errorf("check: process time %v outside [%v, %v] for |E|=%d N=%d",
+			r.Detail.ProcessTime, lo, hi, p.Graph.NumEdges(), p.Cfg.NumPUs)
+	}
+	return nil
+}
+
+// checkGateVsReplay rebuilds one iteration's bank-activity windows from
+// the simulated streaming phase and replays them through the exact
+// idle-timeout policy, requiring the analytic gating stats to track the
+// replay.
+func checkGateVsReplay(p *Point) error {
+	r, err := p.Sim()
+	if err != nil {
+		return err
+	}
+	stats := r.Detail.Gate
+	iters := int64(r.Detail.Iterations)
+	if iters <= 0 || stats.Transitions == 0 || stats.Transitions%iters != 0 {
+		return fmt.Errorf("check: gate transitions %d do not divide into %d iterations",
+			stats.Transitions, iters)
+	}
+	banks := int(stats.Transitions / iters)
+	d := r.Detail.ProcessTime
+	seg := d.Times(1 / float64(banks))
+	windows := make([]mem.BankWindow, banks)
+	for b := 0; b < banks; b++ {
+		windows[b] = mem.BankWindow{
+			Bank:  b,
+			Start: seg.Times(float64(b)),
+			End:   seg.Times(float64(b + 1)),
+		}
+	}
+	awake, transitions, err := mem.ReplayGating(p.Cfg.Gate, windows)
+	if err != nil {
+		return err
+	}
+	if transitions != int64(banks) {
+		return fmt.Errorf("check: replay made %d transitions for %d disjoint banks", transitions, banks)
+	}
+	perIter := stats.AwakeBankTime.Times(1 / float64(iters))
+	slack := p.Cfg.Gate.IdleTimeout.Times(float64(banks)) + d.Times(0.1)
+	if diff := math.Abs(float64(awake - perIter)); diff > float64(slack) {
+		return fmt.Errorf("check: replay awake bank-time %v vs model %v differs by more than %v",
+			awake, perIter, slack)
+	}
+	return nil
+}
+
+// checkPartitionCoverage builds both assigners over the point's graph
+// and verifies each is a true partition whose grid exactly covers the
+// edge set.
+func checkPartitionCoverage(p *Point) error {
+	nv := p.Graph.NumVertices
+	ps := []int{p.Cfg.NumPUs}
+	if nv >= 7 {
+		ps = append(ps, 7) // a non-divisor exercises ragged intervals
+	}
+	for _, np := range ps {
+		if np > nv {
+			continue
+		}
+		hashed, err := partition.NewHashed(nv, np)
+		if err != nil {
+			return err
+		}
+		contig, err := partition.NewContiguous(nv, np)
+		if err != nil {
+			return err
+		}
+		for _, a := range []partition.Assigner{hashed, contig} {
+			if err := partition.CheckAssigner(a); err != nil {
+				return err
+			}
+			grid, err := partition.Build(p.Graph, a)
+			if err != nil {
+				return err
+			}
+			if err := grid.CheckPartition(p.Graph); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkDynamicStores replays one seeded request stream into both
+// dynamic-store implementations and requires them to agree on the
+// surviving edge set size — the differential check behind the Fig. 20
+// comparison's fairness.
+func checkDynamicStores(p *Point) error {
+	rng := graph.NewRNG(p.Seed ^ 0xD15C)
+	add := 1 + rng.Intn(50)
+	del := rng.Intn(101 - add)
+	av := rng.Intn(101 - add - del)
+	mix := dynamic.Mix{AddEdgePct: add, DeleteEdgePct: del, AddVertexPct: av,
+		DeleteVertexPct: 100 - add - del - av}
+	n := 500 + rng.Intn(1501)
+	reqs, err := dynamic.GenerateRequests(p.Graph, n, mix, p.Seed^0xBEEF)
+	if err != nil {
+		return err
+	}
+	np := 8
+	if p.Graph.NumVertices < np {
+		np = 1
+	}
+	asg, err := partition.NewHashed(p.Graph.NumVertices, np)
+	if err != nil {
+		return err
+	}
+	hy, err := dynamic.NewHyVEStore(p.Graph, asg, 0.3)
+	if err != nil {
+		return err
+	}
+	gr, err := dynamic.NewGraphRStore(p.Graph, 8)
+	if err != nil {
+		return err
+	}
+	for i, r := range reqs {
+		if _, err := dynamic.Apply(hy, r); err != nil {
+			return fmt.Errorf("check: HyVE store rejects request %d (%v): %w", i, r.Kind, err)
+		}
+		if _, err := dynamic.Apply(gr, r); err != nil {
+			return fmt.Errorf("check: GraphR store rejects request %d (%v): %w", i, r.Kind, err)
+		}
+	}
+	if hy.NumEdges() != gr.NumEdges() {
+		return fmt.Errorf("check: stores disagree after %d requests: HyVE %d edges, GraphR %d",
+			n, hy.NumEdges(), gr.NumEdges())
+	}
+	if got := int64(len(hy.Edges())); got != hy.NumEdges() {
+		return fmt.Errorf("check: HyVE store reports %d edges but snapshots %d", hy.NumEdges(), got)
+	}
+	return nil
+}
+
+// checkArtifactRoundtrip builds a canonical artifact from the point's
+// simulation, validates it, and requires decode → re-encode to be
+// byte-identical — the stability contract of the hyve/artifact/v1
+// format.
+func checkArtifactRoundtrip(p *Point) error {
+	r, err := p.Sim()
+	if err != nil {
+		return err
+	}
+	art := obs.NewArtifact(
+		fmt.Sprintf("check-%d", p.Seed),
+		fmt.Sprintf("conformance point %s", p.GraphDesc),
+		obs.Manifest{Datasets: []obs.DatasetRef{{
+			Name: p.GraphDesc, Seed: p.Seed,
+			FullVertices: int64(p.Graph.NumVertices),
+			FullEdges:    int64(p.Graph.NumEdges()),
+		}}})
+	art.AddMetric("time", r.Report.Time.Seconds(), "s")
+	art.AddMetric("energy", r.Report.Energy.Total().Joules(), "J")
+	art.AddMetric("iterations", float64(r.Report.Iterations), "")
+	art.AddTable("phases", []string{"phase", "time"}, [][]string{
+		{"load", r.Detail.LoadTime.String()},
+		{"process", r.Detail.ProcessTime.String()},
+		{"writeback", r.Detail.WritebackTime.String()},
+		{"overhead", r.Detail.OverheadTime.String()},
+	})
+	art.AddNote(fmt.Sprintf("config %s, program %s", p.Cfg.Name, p.Prog.Name()))
+	if err := art.Validate(); err != nil {
+		return err
+	}
+	var first bytes.Buffer
+	if err := art.EncodeJSON(&first); err != nil {
+		return err
+	}
+	decoded, err := obs.DecodeJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		return err
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	var second bytes.Buffer
+	if err := decoded.EncodeJSON(&second); err != nil {
+		return err
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		return fmt.Errorf("check: artifact re-encoding is not canonical (%d vs %d bytes)",
+			first.Len(), second.Len())
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Options configures a conformance sweep.
+type Options struct {
+	// Seed is the base seed; point i uses Seed+i.
+	Seed uint64
+	// Points caps the number of points (0 = until Duration).
+	Points int
+	// Duration caps wall-clock time (0 = until Points). With both zero
+	// the sweep runs DefaultPoints points.
+	Duration time.Duration
+	// Verbose streams one line per point to Out.
+	Verbose bool
+	// Out receives progress and the closing table (nil = discard).
+	Out io.Writer
+}
+
+// DefaultPoints is the sweep size when neither budget is set.
+const DefaultPoints = 16
+
+// Failure records one invariant violation.
+type Failure struct {
+	Invariant string
+	Seed      uint64
+	Point     string
+	Err       error
+}
+
+// InvariantSummary aggregates one invariant over the sweep.
+type InvariantSummary struct {
+	Name      string
+	Tolerance string
+	Runs      int
+	Failures  int
+}
+
+// Summary is the outcome of a sweep.
+type Summary struct {
+	Points     int
+	Checks     int
+	Invariants []InvariantSummary
+	Failures   []Failure
+}
+
+// OK reports whether the sweep passed.
+func (s *Summary) OK() bool { return len(s.Failures) == 0 }
+
+// Run executes the conformance sweep: deterministic seeds Seed, Seed+1,
+// … drive randomized points, and every applicable invariant runs at
+// every point. At least one point always runs, even under an expired
+// duration budget, so a sweep can never vacuously pass.
+func Run(opt Options) (*Summary, error) {
+	out := opt.Out
+	if out == nil {
+		out = io.Discard
+	}
+	invs := Invariants()
+	sum := &Summary{Invariants: make([]InvariantSummary, len(invs))}
+	for i, inv := range invs {
+		sum.Invariants[i] = InvariantSummary{Name: inv.Name, Tolerance: inv.Tolerance}
+	}
+
+	points := opt.Points
+	if points <= 0 && opt.Duration <= 0 {
+		points = DefaultPoints
+	}
+	deadline := time.Time{}
+	if opt.Duration > 0 {
+		deadline = time.Now().Add(opt.Duration)
+	}
+
+	for i := 0; ; i++ {
+		if points > 0 && i >= points {
+			break
+		}
+		if i > 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		seed := opt.Seed + uint64(i)
+		p, err := NewPoint(seed)
+		if err != nil {
+			return sum, fmt.Errorf("check: building point for seed %d: %w", seed, err)
+		}
+		sum.Points++
+		var pointFailures int
+		for j := range invs {
+			inv := &invs[j]
+			if inv.Applies != nil && !inv.Applies(p) {
+				continue
+			}
+			sum.Checks++
+			sum.Invariants[j].Runs++
+			if err := inv.Check(p); err != nil {
+				sum.Invariants[j].Failures++
+				pointFailures++
+				sum.Failures = append(sum.Failures, Failure{
+					Invariant: inv.Name, Seed: seed, Point: p.String(), Err: err,
+				})
+				fmt.Fprintf(out, "FAIL %-22s %s\n     %v\n", inv.Name, p, err)
+			}
+		}
+		if opt.Verbose && pointFailures == 0 {
+			fmt.Fprintf(out, "ok   %s\n", p)
+		}
+	}
+	return sum, nil
+}
+
+// WriteReport renders the per-invariant table and verdict.
+func (s *Summary) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "\n%d points, %d checks\n", s.Points, s.Checks)
+	fmt.Fprintf(w, "%-22s %5s %5s  %s\n", "invariant", "runs", "fail", "tolerance")
+	for _, inv := range s.Invariants {
+		fmt.Fprintf(w, "%-22s %5d %5d  %s\n", inv.Name, inv.Runs, inv.Failures, inv.Tolerance)
+	}
+	if s.OK() {
+		fmt.Fprintln(w, "PASS: every invariant held at every point")
+		return
+	}
+	fmt.Fprintf(w, "FAIL: %d violations; reproduce one with -seed <seed> -points 1:\n", len(s.Failures))
+	for _, f := range s.Failures {
+		fmt.Fprintf(w, "  %s at %s: %v\n", f.Invariant, f.Point, f.Err)
+	}
+}

@@ -17,7 +17,10 @@ import (
 
 // Store is a mutable graph layout that absorbs dynamic requests.
 type Store interface {
-	// AddEdge inserts e; returns the number of changed edges (1).
+	// AddEdge inserts e; returns the number of changed edges (1). Both
+	// endpoints must lie in the store's current vertex space — an edge
+	// referencing a vertex that was never added is an error, never an
+	// implicit vertex creation.
 	AddEdge(e graph.Edge) (int, error)
 	// DeleteEdge removes one occurrence of e; returns changed edges
 	// (1, or 0 if absent).
@@ -190,6 +193,9 @@ func (s *HyVEStore) blockOf(e graph.Edge) (int, error) {
 // AddEdge implements Store: append to the block's tail — into reserved
 // slack if available, otherwise into a linked overflow extent. O(1).
 func (s *HyVEStore) AddEdge(e graph.Edge) (int, error) {
+	if int(e.Src) >= s.numVertices || int(e.Dst) >= s.numVertices {
+		return 0, fmt.Errorf("dynamic: edge %v outside vertex space [0,%d)", e, s.numVertices)
+	}
 	b, err := s.blockOf(e)
 	if err != nil {
 		return 0, err

@@ -78,8 +78,13 @@ func (s *GraphRStore) reprogram(b *denseBlock) {
 	s.Rewrites++
 }
 
-// AddEdge implements Store.
+// AddEdge implements Store. Endpoints outside the current vertex space
+// are rejected, matching HyVEStore: silently growing the space here
+// used to let the two Fig. 20 stores diverge on malformed streams.
 func (s *GraphRStore) AddEdge(e graph.Edge) (int, error) {
+	if int(e.Src) >= s.numVertices || int(e.Dst) >= s.numVertices {
+		return 0, fmt.Errorf("dynamic: edge %v outside vertex space [0,%d)", e, s.numVertices)
+	}
 	k, cell := s.key(e)
 	b := s.blocks[k]
 	if b == nil {
@@ -92,12 +97,6 @@ func (s *GraphRStore) AddEdge(e graph.Edge) (int, error) {
 	b.cells[cell]++
 	s.reprogram(b)
 	s.liveEdges++
-	if int(e.Src) >= s.numVertices {
-		s.numVertices = int(e.Src) + 1
-	}
-	if int(e.Dst) >= s.numVertices {
-		s.numVertices = int(e.Dst) + 1
-	}
 	return 1, nil
 }
 

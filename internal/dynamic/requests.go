@@ -64,7 +64,10 @@ func (m Mix) Validate() error {
 // against graph g: deletes always reference an edge that is live at that
 // point in the stream, adds draw fresh endpoints, vertex operations
 // reference the evolving vertex space. Both stores receive the identical
-// stream, which is what makes the Fig. 20 comparison fair.
+// stream, which is what makes the Fig. 20 comparison fair. If the
+// live-edge pool drains, a delete roll falls back to another enabled
+// request kind; a mix that can only delete edges returns an error once
+// the pool is empty rather than spinning.
 func GenerateRequests(g *graph.Graph, n int, mix Mix, seed uint64) ([]Request, error) {
 	if err := mix.Validate(); err != nil {
 		return nil, err
@@ -78,24 +81,47 @@ func GenerateRequests(g *graph.Graph, n int, mix Mix, seed uint64) ([]Request, e
 	out := make([]Request, 0, n)
 	for len(out) < n {
 		roll := rng.Intn(100)
+		var kind RequestKind
 		switch {
 		case roll < mix.AddEdgePct:
+			kind = AddEdge
+		case roll < mix.AddEdgePct+mix.DeleteEdgePct:
+			kind = DeleteEdge
+		case roll < mix.AddEdgePct+mix.DeleteEdgePct+mix.AddVertexPct:
+			kind = AddVertex
+		default:
+			kind = DeleteVertex
+		}
+		if kind == DeleteEdge && len(live) == 0 {
+			// The live pool is drained: every deletable edge is gone.
+			// Fall back to another enabled kind so the stream keeps its
+			// length; a delete-only mix has nothing to fall back to.
+			switch {
+			case mix.AddEdgePct > 0:
+				kind = AddEdge
+			case mix.AddVertexPct > 0:
+				kind = AddVertex
+			case mix.DeleteVertexPct > 0:
+				kind = DeleteVertex
+			default:
+				return nil, fmt.Errorf("dynamic: mix %+v deletes edges only and the live-edge pool drained after %d requests", mix, len(out))
+			}
+		}
+		switch kind {
+		case AddEdge:
 			e := graph.Edge{
 				Src: graph.VertexID(rng.Intn(numVertices)),
 				Dst: graph.VertexID(rng.Intn(numVertices)),
 			}
 			live = append(live, e)
 			out = append(out, Request{Kind: AddEdge, Edge: e})
-		case roll < mix.AddEdgePct+mix.DeleteEdgePct:
-			if len(live) == 0 {
-				continue
-			}
+		case DeleteEdge:
 			i := rng.Intn(len(live))
 			e := live[i]
 			live[i] = live[len(live)-1]
 			live = live[:len(live)-1]
 			out = append(out, Request{Kind: DeleteEdge, Edge: e})
-		case roll < mix.AddEdgePct+mix.DeleteEdgePct+mix.AddVertexPct:
+		case AddVertex:
 			out = append(out, Request{Kind: AddVertex})
 			numVertices++
 		default:

@@ -60,9 +60,11 @@ func (g *Graph) Validate() error {
 	if g.NumVertices < 0 {
 		return fmt.Errorf("graph: negative vertex count %d", g.NumVertices)
 	}
-	n := uint32(g.NumVertices)
+	// Compare in uint64: a graph whose max vertex ID is MaxUint32 has
+	// NumVertices = 1<<32, which a uint32 bound would truncate to zero.
+	n := uint64(g.NumVertices)
 	for i, e := range g.Edges {
-		if e.Src >= n || e.Dst >= n {
+		if uint64(e.Src) >= n || uint64(e.Dst) >= n {
 			return fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, n)
 		}
 	}

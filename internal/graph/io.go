@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -73,18 +74,43 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: reading header: %w", err)
 		}
 	}
+	if flags&^uint32(flagWeighted) != 0 {
+		return nil, fmt.Errorf("graph: unknown flag bits %#x", flags&^uint32(flagWeighted))
+	}
 	const maxReasonable = 1 << 34
 	if nVerts > maxReasonable || nEdges > maxReasonable {
 		return nil, fmt.Errorf("graph: implausible sizes |V|=%d |E|=%d", nVerts, nEdges)
 	}
-	g := &Graph{NumVertices: int(nVerts), Edges: make([]Edge, nEdges)}
-	if err := binary.Read(br, binary.LittleEndian, g.Edges); err != nil {
-		return nil, fmt.Errorf("graph: reading edges: %w", err)
+	// Read edges (and weights) in bounded chunks so a forged nEdges in the
+	// header can never allocate gigabytes up front: allocation grows only
+	// as fast as the stream actually delivers data.
+	const chunkEdges = 1 << 16
+	g := &Graph{NumVertices: int(nVerts)}
+	g.Edges = make([]Edge, 0, min(nEdges, chunkEdges))
+	chunk := make([]Edge, chunkEdges)
+	for read := uint64(0); read < nEdges; {
+		n := min(nEdges-read, chunkEdges)
+		if err := binary.Read(br, binary.LittleEndian, chunk[:n]); err != nil {
+			return nil, fmt.Errorf("graph: reading edges (%d of %d): %w", read, nEdges, err)
+		}
+		g.Edges = append(g.Edges, chunk[:n]...)
+		read += n
 	}
 	if flags&flagWeighted != 0 {
-		g.Weights = make([]float32, nEdges)
-		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
-			return nil, fmt.Errorf("graph: reading weights: %w", err)
+		g.Weights = make([]float32, 0, min(nEdges, chunkEdges))
+		wchunk := make([]float32, chunkEdges)
+		for read := uint64(0); read < nEdges; {
+			n := min(nEdges-read, chunkEdges)
+			if err := binary.Read(br, binary.LittleEndian, wchunk[:n]); err != nil {
+				return nil, fmt.Errorf("graph: reading weights (%d of %d): %w", read, nEdges, err)
+			}
+			g.Weights = append(g.Weights, wchunk[:n]...)
+			read += n
+		}
+		for i, w := range g.Weights {
+			if f := float64(w); math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("graph: weight %d is non-finite (%v)", i, w)
+			}
 		}
 	}
 	if err := g.Validate(); err != nil {
@@ -126,6 +152,9 @@ func ParseEdgeList(r io.Reader) (*Graph, error) {
 			w, err := strconv.ParseFloat(fields[2], 32)
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNo, err)
+			}
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("graph: line %d: non-finite weight %q", lineNo, fields[2])
 			}
 			if !weighted {
 				weighted = true

@@ -3,6 +3,7 @@ package graphr
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/partition"
@@ -149,6 +150,21 @@ func PageRankCrossbar(g *graph.Graph, q *Quantizer, damping float64, iters int) 
 		}
 	}
 
+	// Iterate blocks in a fixed order: the per-vertex accumulation below
+	// is float64 addition, and letting map order pick the association
+	// perturbs maxRank — which sets the next iteration's quantizer scale
+	// and can flip a code, making runs disagree in the fourth decimal.
+	keys := make([]blockKey, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bx != keys[j].bx {
+			return keys[i].bx < keys[j].bx
+		}
+		return keys[i].by < keys[j].by
+	})
+
 	rank := make([]float64, n)
 	for v := range rank {
 		rank[v] = 1 / float64(n)
@@ -173,7 +189,8 @@ func PageRankCrossbar(g *graph.Graph, q *Quantizer, damping float64, iters int) 
 			next[v] = base
 		}
 		full := float64(uint64(rq.Levels()-1)) * float64(uint64(wq.Levels()-1))
-		for k, cells := range blocks {
+		for _, k := range keys {
+			cells := blocks[k]
 			in := make([]uint32, dim)
 			for i := 0; i < dim; i++ {
 				v := int(k.bx)*dim + i

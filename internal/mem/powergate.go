@@ -85,6 +85,39 @@ type GateStats struct {
 	TransitionSpend units.Energy // wake+sleep overhead energy
 }
 
+// CheckInvariants verifies the physical consistency of accumulated
+// gating statistics: nothing negative, no more awake bank-time than
+// totalBanks banks awake for the whole integrated time, and gating never
+// costing more than leaving everything on plus the transition overheads
+// it spent. A non-positive totalBanks skips the bank-time bound (caller
+// does not know the geometry).
+func (s GateStats) CheckInvariants(totalBanks int) error {
+	if s.Transitions < 0 {
+		return fmt.Errorf("mem: negative gate transitions %d", s.Transitions)
+	}
+	if s.AwakeBankTime < 0 || s.TotalTime < 0 || s.LatencyPenalty < 0 {
+		return fmt.Errorf("mem: negative gate times %+v", s)
+	}
+	if s.GatedEnergy < 0 || s.UngatedEnergy < 0 || s.TransitionSpend < 0 {
+		return fmt.Errorf("mem: negative gate energies %+v", s)
+	}
+	if s.Transitions == 0 && s.AwakeBankTime != 0 {
+		return fmt.Errorf("mem: awake bank-time %v with zero transitions", s.AwakeBankTime)
+	}
+	const slack = 1 + 1e-9
+	if totalBanks > 0 {
+		if limit := s.TotalTime.Times(float64(totalBanks) * slack); s.AwakeBankTime > limit {
+			return fmt.Errorf("mem: awake bank-time %v exceeds %d banks × total time %v",
+				s.AwakeBankTime, totalBanks, s.TotalTime)
+		}
+	}
+	if limit := (s.UngatedEnergy + s.TransitionSpend).Times(slack); s.GatedEnergy > limit {
+		return fmt.Errorf("mem: gated energy %v exceeds ungated %v + transition spend %v",
+			s.GatedEnergy, s.UngatedEnergy, s.TransitionSpend)
+	}
+	return nil
+}
+
 // NewGatedBanks builds the model.
 func NewGatedBanks(p PowerGateParams, bankLeak units.Power, totalBanks int, ungated units.Power) (*GatedBanks, error) {
 	if err := p.Validate(); err != nil {

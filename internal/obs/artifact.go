@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 )
 
@@ -109,6 +110,54 @@ func (a *Artifact) EncodeJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(a); err != nil {
 		return fmt.Errorf("obs: encoding artifact %s: %w", a.ID, err)
+	}
+	return nil
+}
+
+// DecodeJSON reads one artifact document from r. The document is parsed
+// strictly — unknown fields are an error, so a truncated or foreign JSON
+// object cannot masquerade as an artifact — but not validated; callers
+// that need schema guarantees follow up with Validate.
+func DecodeJSON(r io.Reader) (*Artifact, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var a Artifact
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("obs: decoding artifact: %w", err)
+	}
+	return &a, nil
+}
+
+// Validate checks the artifact against the hyve/artifact/v1 schema:
+// known schema string, non-empty id, named finite metrics, and tables
+// whose every row is exactly as wide as its header.
+func (a *Artifact) Validate() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.Schema != ArtifactSchema {
+		return fmt.Errorf("obs: artifact schema %q, want %q", a.Schema, ArtifactSchema)
+	}
+	if a.ID == "" {
+		return fmt.Errorf("obs: artifact has empty id")
+	}
+	for i, m := range a.Metrics {
+		if m.Name == "" {
+			return fmt.Errorf("obs: artifact %s: metric %d has empty name", a.ID, i)
+		}
+		if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+			return fmt.Errorf("obs: artifact %s: metric %s is non-finite (%v)", a.ID, m.Name, m.Value)
+		}
+	}
+	for ti, t := range a.Tables {
+		if len(t.Header) == 0 {
+			return fmt.Errorf("obs: artifact %s: table %d (%s) has no header", a.ID, ti, t.Name)
+		}
+		for ri, row := range t.Rows {
+			if len(row) != len(t.Header) {
+				return fmt.Errorf("obs: artifact %s: table %d (%s) row %d has %d cells for %d columns",
+					a.ID, ti, t.Name, ri, len(row), len(t.Header))
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzArtifactDecode hardens the artifact loader against arbitrary
+// JSON: whatever DecodeJSON and Validate accept must re-encode
+// canonically, and the canonical form must be a fixed point (decoding
+// and re-encoding it reproduces the same bytes).
+func FuzzArtifactDecode(f *testing.F) {
+	a := NewArtifact("fuzz-seed", "Fuzz seed artifact", Manifest{
+		Datasets: []DatasetRef{{Name: "rmat-16", Scale: 1, Seed: 7}},
+	})
+	a.AddMetric("time_ps", 12.5, "ps")
+	a.AddTable("phases", []string{"phase", "time"}, [][]string{{"load", "1"}, {"process", "2"}})
+	a.AddNote("seed artifact")
+	var buf bytes.Buffer
+	if err := a.EncodeJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":"hyve/artifact/v1","id":"x","title":"t","manifest":{"quick":false}}`))
+	f.Add([]byte(`{"schema":"wrong/v9","id":"x"}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"schema":"hyve/artifact/v1","id":"x","title":"t","manifest":{"quick":false},"metrics":[{"name":"","value":1}]}`))
+	f.Add([]byte(`{"schema":"hyve/artifact/v1","id":"x","title":"t","manifest":{"quick":false},"tables":[{"header":["a"],"rows":[["1","2"]]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := a.EncodeJSON(&first); err != nil {
+			t.Fatalf("validated artifact does not encode: %v", err)
+		}
+		b, err := DecodeJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("canonical encoding does not validate: %v", err)
+		}
+		var second bytes.Buffer
+		if err := b.EncodeJSON(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("canonical form is not a fixed point:\n%s\nvs\n%s", first.String(), second.String())
+		}
+	})
+}
+
+func TestDecodeJSONStrict(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader(`{"schema":"hyve/artifact/v1","id":"x","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error does not name the unknown field: %v", err)
+	}
+	if _, err := DecodeJSON(strings.NewReader(`[1]`)); err == nil {
+		t.Error("non-object document accepted")
+	}
+	a, err := DecodeJSON(strings.NewReader(`{"schema":"hyve/artifact/v1","id":"x","title":"t","manifest":{"quick":true}}`))
+	if err != nil {
+		t.Fatalf("minimal artifact rejected: %v", err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("minimal artifact fails validation: %v", err)
+	}
+}
+
+func TestValidateRejectsCorruptArtifacts(t *testing.T) {
+	fresh := func() *Artifact {
+		a := NewArtifact("v", "t", Manifest{})
+		a.AddMetric("m", 1, "")
+		a.AddTable("t", []string{"a", "b"}, [][]string{{"1", "2"}})
+		return a
+	}
+	if err := fresh().Validate(); err != nil {
+		t.Fatalf("clean artifact fails: %v", err)
+	}
+	for _, tc := range []struct {
+		name    string
+		corrupt func(*Artifact)
+	}{
+		{"wrong schema", func(a *Artifact) { a.Schema = "hyve/artifact/v0" }},
+		{"empty id", func(a *Artifact) { a.ID = "" }},
+		{"nan metric", func(a *Artifact) { a.Metrics[0].Value = math.NaN() }},
+		{"inf metric", func(a *Artifact) { a.Metrics[0].Value = math.Inf(1) }},
+		{"unnamed metric", func(a *Artifact) { a.Metrics[0].Name = "" }},
+		{"ragged table", func(a *Artifact) { a.Tables[0].Rows[0] = []string{"1"} }},
+		{"headerless table", func(a *Artifact) { a.Tables[0].Header = nil }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := fresh()
+			tc.corrupt(a)
+			if err := a.Validate(); err == nil {
+				t.Error("corrupt artifact validated")
+			}
+		})
+	}
+}

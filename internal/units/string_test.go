@@ -1,0 +1,90 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTimeStringBoundaries pins String() at every unit boundary, on
+// negatives, and on degenerate floats: the branch is selected on the
+// absolute value, so "-5µs" must format like "5µs" with the sign kept,
+// and a subnormal duration must not round up into the wrong unit.
+func TestTimeStringBoundaries(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{Time(math.Copysign(0, -1)), "0s"}, // negative zero is zero
+		{Picosecond, "1ps"},
+		{999 * Picosecond, "999ps"},
+		{Nanosecond - Time(0.5), "1e+03ps"}, // just below the boundary, %.3g rounds up but keeps ps
+		{Nanosecond, "1ns"},
+		{-Nanosecond, "-1ns"},
+		{999 * Nanosecond, "999ns"},
+		{Microsecond, "1µs"},
+		{-5 * Microsecond, "-5µs"},
+		{Millisecond, "1ms"},
+		{-Millisecond, "-1ms"},
+		{Second, "1s"},
+		{3600 * Second, "3600s"},
+		{-3600 * Second, "-3600s"},
+		{1234 * Picosecond, "1.234ns"},
+		{Time(1.5), "1.5ps"},
+		{Time(5e-310), "5e-310ps"}, // subnormal stays in the smallest unit
+		{Time(-5e-310), "-5e-310ps"},
+		{Time(12345.6) * Nanosecond, "12.35µs"}, // %.4g rounds half away
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Time(%g).String() = %q, want %q", float64(tc.in), got, tc.want)
+		}
+	}
+}
+
+func TestEnergyStringBoundaries(t *testing.T) {
+	cases := []struct {
+		in   Energy
+		want string
+	}{
+		{0, "0J"},
+		{Energy(math.Copysign(0, -1)), "0J"},
+		{Picojoule, "1pJ"},
+		{999 * Picojoule, "999pJ"},
+		{Nanojoule, "1nJ"},
+		{-Nanojoule, "-1nJ"},
+		{Microjoule, "1µJ"},
+		{-5 * Microjoule, "-5µJ"},
+		{Millijoule, "1mJ"},
+		{Joule, "1J"},
+		{-Joule, "-1J"},
+		{100 * Joule, "100J"},
+		{Energy(1.5), "1.5pJ"},
+		{Energy(5e-310), "5e-310pJ"},
+		{1234 * Picojoule, "1.234nJ"},
+		{Energy(12345.6) * Nanojoule, "12.35µJ"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Energy(%g).String() = %q, want %q", float64(tc.in), got, tc.want)
+		}
+	}
+}
+
+// TestStringBranchConsistency sweeps magnitudes across all five decades
+// in both signs: the unit suffix must depend only on the magnitude,
+// never on the sign.
+func TestStringBranchConsistency(t *testing.T) {
+	for _, mag := range []float64{0.001, 1, 999, 1e3, 1e5, 1e6, 1e8, 1e9, 1e11, 1e12, 1e14} {
+		pos := Time(mag).String()
+		neg := Time(-mag).String()
+		if "-"+pos != neg {
+			t.Errorf("Time sign asymmetry at %g: %q vs %q", mag, pos, neg)
+		}
+		pe := Energy(mag).String()
+		ne := Energy(-mag).String()
+		if "-"+pe != ne {
+			t.Errorf("Energy sign asymmetry at %g: %q vs %q", mag, pe, ne)
+		}
+	}
+}
