@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build test vet race bench check
+.PHONY: all build test vet race bench bench-json bench-smoke check
+
+# The committed benchmark artifact for this PR; bump per PR so the repo
+# accumulates a benchstat-style history (compare two with
+# `go run ./cmd/hyve-perf -compare BENCH_prN.json BENCH_prM.json`).
+BENCH_JSON ?= BENCH_pr4.json
+BENCH_COUNT ?= 5
+BENCH_TIME ?= 5x
 
 all: build
 
@@ -22,5 +29,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# bench-json runs every root benchmark BENCH_COUNT times and distills
+# the output into the canonical JSON artifact via cmd/hyve-perf.
+bench-json:
+	$(GO) test -bench=. -benchmem -count=$(BENCH_COUNT) -benchtime=$(BENCH_TIME) -run '^$$' . | $(GO) run ./cmd/hyve-perf -o $(BENCH_JSON)
+	@echo wrote $(BENCH_JSON)
+
+# bench-smoke is the CI gate: every benchmark must still run (one
+# iteration each), catching bit-rot without burning CI minutes.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 check: vet build test race

@@ -1,0 +1,92 @@
+// Command hyve-perf turns raw `go test -bench` output into a canonical
+// JSON benchmark artifact and compares two such artifacts.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=5 . | hyve-perf -o BENCH_pr4.json
+//	hyve-perf -o BENCH_pr4.json bench.txt   # from a saved file
+//	hyve-perf -compare BENCH_pr3.json BENCH_pr4.json
+//
+// The JSON is an array of benchmarks sorted by name, each with mean,
+// min, and max over every aggregated run of ns/op and any extra
+// reported metrics (B/op, allocs/op, edges/op, ...). Committing the
+// artifact per PR gives the repo a tracked performance baseline without
+// an external benchstat dependency.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	var (
+		out         = flag.String("o", "", "write the JSON artifact here (default stdout)")
+		compareMode = flag.Bool("compare", false, "compare two JSON artifacts: hyve-perf -compare old.json new.json")
+	)
+	flag.Parse()
+	if err := run(*out, *compareMode, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "hyve-perf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, compareMode bool, args []string) error {
+	if compareMode {
+		if len(args) != 2 {
+			return fmt.Errorf("-compare needs exactly two JSON artifacts, got %d", len(args))
+		}
+		old, err := loadArtifact(args[0])
+		if err != nil {
+			return err
+		}
+		new, err := loadArtifact(args[1])
+		if err != nil {
+			return err
+		}
+		compare(os.Stdout, old, new)
+		return nil
+	}
+
+	var in io.Reader = os.Stdin
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	benches, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	data, err := json.MarshalIndent(benches, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func loadArtifact(path string) ([]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var benches []Benchmark
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return benches, nil
+}

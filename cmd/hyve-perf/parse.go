@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stat summarizes repeated observations of one metric benchstat-style.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func newStat(samples []float64) Stat {
+	s := Stat{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range samples {
+		s.Mean += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean /= float64(len(samples))
+	return s
+}
+
+// Benchmark aggregates every run of one benchmark name.
+type Benchmark struct {
+	Name string `json:"name"`
+	// Runs counts the aggregated `go test -bench` result lines (use
+	// -count=N for N runs).
+	Runs    int  `json:"runs"`
+	NsPerOp Stat `json:"ns_per_op"`
+	// Metrics holds the remaining reported units, e.g. "B/op",
+	// "allocs/op", "edges/op".
+	Metrics map[string]Stat `json:"metrics,omitempty"`
+}
+
+// parseBench reads `go test -bench` output and aggregates per-name
+// statistics. Unrecognized lines are skipped, so raw test output can be
+// piped in unfiltered.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	type samples struct {
+		ns    []float64
+		extra map[string][]float64
+	}
+	byName := map[string]*samples{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		s := byName[name]
+		if s == nil {
+			s = &samples{extra: map[string][]float64{}}
+			byName[name] = s
+			order = append(order, name)
+		}
+		// fields[1] is the iteration count; then "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hyve-perf: bad value %q on line %q", fields[i], sc.Text())
+			}
+			if fields[i+1] == "ns/op" {
+				s.ns = append(s.ns, v)
+			} else {
+				s.extra[fields[i+1]] = append(s.extra[fields[i+1]], v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var out []Benchmark
+	for _, name := range order {
+		s := byName[name]
+		if len(s.ns) == 0 {
+			continue
+		}
+		b := Benchmark{Name: name, Runs: len(s.ns), NsPerOp: newStat(s.ns)}
+		if len(s.extra) > 0 {
+			b.Metrics = map[string]Stat{}
+			for unit, vs := range s.extra {
+				b.Metrics[unit] = newStat(vs)
+			}
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// compare renders an old-vs-new delta table for benchmarks present in
+// both sets, benchstat-style: mean ns/op before, after, and the change.
+func compare(w io.Writer, old, new []Benchmark) {
+	byName := map[string]Benchmark{}
+	for _, b := range old {
+		byName[b.Name] = b
+	}
+	fmt.Fprintf(w, "%-40s %15s %15s %9s\n", "name", "old ns/op", "new ns/op", "delta")
+	for _, n := range new {
+		o, ok := byName[n.Name]
+		if !ok {
+			continue
+		}
+		delta := (n.NsPerOp.Mean - o.NsPerOp.Mean) / o.NsPerOp.Mean * 100
+		fmt.Fprintf(w, "%-40s %15.0f %15.0f %+8.1f%%\n", n.Name, o.NsPerOp.Mean, n.NsPerOp.Mean, delta)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkEdgeCentricIteration-8   	       5	   2000000 ns/op	     65536 edges/op	    1024 B/op	       3 allocs/op
+BenchmarkEdgeCentricIteration-8   	       5	   1000000 ns/op	     65536 edges/op	    1024 B/op	       3 allocs/op
+BenchmarkPartitionBuild-8         	       2	   5000000 ns/op	     65536 edges/op	  409600 B/op	      12 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseBenchAggregates(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(benches))
+	}
+	// Sorted by name: EdgeCentricIteration first.
+	ec := benches[0]
+	if ec.Name != "BenchmarkEdgeCentricIteration" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix must be stripped)", ec.Name)
+	}
+	if ec.Runs != 2 {
+		t.Errorf("runs = %d, want 2", ec.Runs)
+	}
+	if ec.NsPerOp.Mean != 1.5e6 || ec.NsPerOp.Min != 1e6 || ec.NsPerOp.Max != 2e6 {
+		t.Errorf("ns/op stat = %+v", ec.NsPerOp)
+	}
+	if got := ec.Metrics["edges/op"].Mean; got != 65536 {
+		t.Errorf("edges/op = %v, want 65536", got)
+	}
+	if got := ec.Metrics["allocs/op"].Mean; got != 3 {
+		t.Errorf("allocs/op = %v, want 3", got)
+	}
+	pb := benches[1]
+	if pb.Name != "BenchmarkPartitionBuild" || pb.Runs != 1 {
+		t.Errorf("second benchmark = %q runs %d", pb.Name, pb.Runs)
+	}
+}
+
+func TestParseBenchRejectsGarbageValues(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkX-8 5 oops ns/op\n"))
+	if err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}
+
+func TestRunWritesArtifactAndCompares(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(raw, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	artifact := filepath.Join(dir, "BENCH.json")
+	if err := run(artifact, false, []string{raw}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benches []Benchmark
+	if err := json.Unmarshal(data, &benches); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("artifact has %d benchmarks, want 2", len(benches))
+	}
+	if err := run("", true, []string{artifact, artifact}); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+	if err := run("", true, []string{artifact}); err == nil {
+		t.Fatal("-compare with one file accepted")
+	}
+}

@@ -32,6 +32,51 @@ func CompareValues(label string, got, want []float64, tol float64) error {
 	return nil
 }
 
+// CompareResults demands two runs be indistinguishable: bit-identical
+// values (±0 and matching infinities compare equal) and identical
+// iteration and edge/active/updated counters.
+func CompareResults(label string, got, want *Result) error {
+	if err := CompareValues(label, got.Values, want.Values, 0); err != nil {
+		return err
+	}
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		return fmt.Errorf("algo: %s: iterations %d/converged %v, want %d/%v",
+			label, got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	if got.EdgesProcessed != want.EdgesProcessed ||
+		got.ActiveEdges != want.ActiveEdges ||
+		got.UpdatedGathers != want.UpdatedGathers {
+		return fmt.Errorf("algo: %s: counters (edges %d, active %d, updated %d), want (%d, %d, %d)",
+			label, got.EdgesProcessed, got.ActiveEdges, got.UpdatedGathers,
+			want.EdgesProcessed, want.ActiveEdges, want.UpdatedGathers)
+	}
+	return nil
+}
+
+// CheckKernelVsOracle holds the monomorphized kernel path against the
+// generic interface-dispatched oracle and the owner-computes parallel
+// runner: all three must produce bit-identical values and identical
+// counters on any graph. This is the safety net that lets the hot path
+// be rewritten aggressively (kernel.go).
+func CheckKernelVsOracle(p Program, g *graph.Graph) error {
+	oracle, err := RunGeneric(p, g)
+	if err != nil {
+		return err
+	}
+	kernel, err := Run(p, g)
+	if err != nil {
+		return err
+	}
+	if err := CompareResults(p.Name()+" kernel vs generic oracle", kernel, oracle); err != nil {
+		return err
+	}
+	par, err := RunParallel(p, g, 4)
+	if err != nil {
+		return err
+	}
+	return CompareResults(p.Name()+" parallel vs generic oracle", par, oracle)
+}
+
 // CheckAgainstReference runs p through the edge-centric engine and
 // compares its fixed point against the matching independent reference
 // implementation (reference.go). This is the functional-correctness

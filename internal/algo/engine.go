@@ -31,6 +31,10 @@ type State struct {
 	UpdatedGathers int64
 	// Converged is set by Apply sweeps that change nothing.
 	Converged bool
+
+	// kernel is the program's monomorphized edge loop (kernel.go), or
+	// nil to stream through the generic interface-dispatched path.
+	kernel EdgeKernel
 }
 
 // NewState initializes program state on g.
@@ -51,8 +55,20 @@ func NewState(p Program, g *graph.Graph) (*State, error) {
 	for v := range s.Values {
 		s.Values[v] = p.Init(graph.VertexID(v), g.NumVertices)
 	}
+	if kp, ok := p.(KernelProgram); ok {
+		s.kernel = kp.EdgeKernel()
+	}
 	return s, nil
 }
+
+// SetKernel overrides the edge kernel; nil forces the generic
+// interface-dispatched path (the oracle the equivalence tests stream
+// against).
+func (s *State) SetKernel(k EdgeKernel) { s.kernel = k }
+
+// Kernelized reports whether edge streaming runs through a specialized
+// kernel.
+func (s *State) Kernelized() bool { return s.kernel != nil }
 
 // BeginIteration seeds the accumulators.
 func (s *State) BeginIteration() {
@@ -75,6 +91,55 @@ func (s *State) ProcessEdge(e graph.Edge, w float32) {
 		s.UpdatedGathers++
 		s.Accum[e.Dst] = next
 	}
+}
+
+// ProcessEdges streams a contiguous slice of edges (weights[i] per edge;
+// nil weights mean weight 1) through the program's kernel, falling back
+// to the generic ProcessEdge semantics when no kernel is set. Both paths
+// produce bit-identical accumulators and counters.
+func (s *State) ProcessEdges(edges []graph.Edge, weights []float32) {
+	var ks KernelStats
+	s.ProcessEdgesInto(&ks, edges, weights)
+	s.AddStats(ks)
+}
+
+// ProcessEdgesInto streams edges like ProcessEdges but accumulates the
+// edge counters into ks instead of the State, so owner-disjoint parallel
+// callers can count per worker without write-sharing the State and merge
+// after their barrier. Accumulator writes still go to s.Accum — the
+// caller must guarantee the slices' destinations are owned by exactly
+// one concurrent invocation (values are only read).
+func (s *State) ProcessEdgesInto(ks *KernelStats, edges []graph.Edge, weights []float32) {
+	if s.kernel != nil {
+		ks.Add(s.kernel(s.Values, s.Accum, s.OutDeg, edges, weights))
+		return
+	}
+	ks.Edges += int64(len(edges))
+	for i, e := range edges {
+		w := float32(1)
+		if weights != nil {
+			w = weights[i]
+		}
+		msg, active := s.Prog.Scatter(s.Values[e.Src], s.OutDeg[e.Src], w)
+		if !active {
+			continue
+		}
+		ks.Active++
+		next := s.Prog.Gather(s.Accum[e.Dst], msg)
+		if next != s.Accum[e.Dst] {
+			ks.Updated++
+			s.Accum[e.Dst] = next
+		}
+	}
+}
+
+// AddStats folds merged kernel counters into the run totals — the
+// post-barrier step of a parallel sweep that counted per worker through
+// ProcessEdgesInto.
+func (s *State) AddStats(ks KernelStats) {
+	s.EdgesProcessed += ks.Edges
+	s.ActiveEdges += ks.Active
+	s.UpdatedGathers += ks.Updated
 }
 
 // EndIteration applies the accumulators and reports whether any vertex
@@ -103,12 +168,10 @@ func (s *State) Done() bool {
 }
 
 // RunIteration performs one full synchronous sweep over the flat edge
-// list.
+// list, through the kernel when the program provides one.
 func (s *State) RunIteration() {
 	s.BeginIteration()
-	for i, e := range s.Graph.Edges {
-		s.ProcessEdge(e, s.Graph.Weight(i))
-	}
+	s.ProcessEdges(s.Graph.Edges, s.Graph.Weights)
 	s.EndIteration()
 }
 
@@ -158,12 +221,26 @@ func (r *Result) UpdateRatio() float64 {
 }
 
 // Run executes p on g to completion over the flat edge list and returns
-// the result. This is the functional oracle for the architecture
-// simulators.
+// the result, streaming through the program's kernel when it provides
+// one. This is the functional oracle for the architecture simulators.
 func Run(p Program, g *graph.Graph) (*Result, error) {
+	return runEngine(p, g, false)
+}
+
+// RunGeneric is Run with the kernel disabled: every edge goes through
+// the interface-dispatched Scatter/Gather path. It exists as the oracle
+// the kernels are checked against.
+func RunGeneric(p Program, g *graph.Graph) (*Result, error) {
+	return runEngine(p, g, true)
+}
+
+func runEngine(p Program, g *graph.Graph, forceGeneric bool) (*Result, error) {
 	s, err := NewState(p, g)
 	if err != nil {
 		return nil, err
+	}
+	if forceGeneric {
+		s.SetKernel(nil)
 	}
 	for !s.Done() {
 		if s.Iteration > s.MaxIterations() {

@@ -123,14 +123,19 @@ func RunParallel(p Program, g *graph.Graph, workers int) (*Result, error) {
 			res.ActiveEdges += stats[wk].active
 			res.UpdatedGathers += stats[wk].updated
 		}
+		// Latch convergence exactly like State.EndIteration: a sweep that
+		// changes nothing marks the run converged even when a fixed
+		// budget keeps it iterating.
+		if !changed {
+			res.Converged = true
+		}
 		if fixed := p.FixedIterations(); fixed > 0 {
 			if res.Iterations >= fixed {
 				break
 			}
 			continue
 		}
-		if !changed {
-			res.Converged = true
+		if res.Converged {
 			break
 		}
 	}

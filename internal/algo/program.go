@@ -332,9 +332,11 @@ func (m *SpMV) Init(v graph.VertexID, _ int) float64 { return 1 + float64(v%7) }
 // AccumIdentity implements Program.
 func (m *SpMV) AccumIdentity(float64) float64 { return 0 }
 
-// Scatter implements Program.
+// Scatter implements Program. The explicit conversion pins the
+// product's rounding so no downstream fused multiply-add can make this
+// path diverge from the monomorphized kernel.
 func (m *SpMV) Scatter(src float64, _ int, w float32) (float64, bool) {
-	return src * float64(w), true
+	return float64(src * float64(w)), true
 }
 
 // Gather implements Program.

@@ -49,6 +49,11 @@ func Invariants() []Invariant {
 			Check:     checkBlockedVsFlat,
 		},
 		{
+			Name:      "kernel-vs-oracle",
+			Tolerance: "exact: bit-identical values, identical counters",
+			Check:     checkKernelVsOracle,
+		},
+		{
 			Name:      "cost-vs-trace",
 			Tolerance: "times ≤1e-9 rel; trace traffic byte-exact vs Detail counters",
 			Check: func(p *Point) error {
@@ -111,7 +116,7 @@ func checkBlockedVsFlat(p *Point) error {
 	if err != nil {
 		return err
 	}
-	blocked, err := core.RunFunctional(p.Cfg, p.Workload)
+	blocked, err := p.Blocked()
 	if err != nil {
 		return err
 	}
@@ -120,6 +125,30 @@ func checkBlockedVsFlat(p *Point) error {
 			blocked.Iterations, flat.Iterations)
 	}
 	return algo.CompareValues("blocked vs flat", blocked.Values, flat.Values, 1e-9)
+}
+
+// checkKernelVsOracle holds every rewritten hot path against the generic
+// interface-dispatched engine: the monomorphized kernels and the
+// owner-computes parallel runner on the flat edge list (algo hook), then
+// the block-parallel Algorithm 2 schedule against its sequential
+// (Parallelism=1) execution — all bit-identical, counters included.
+func checkKernelVsOracle(p *Point) error {
+	if err := algo.CheckKernelVsOracle(p.Prog, p.Graph); err != nil {
+		return err
+	}
+	seqCfg := p.Cfg
+	seqCfg.Parallelism = 1
+	seq, err := core.RunFunctional(seqCfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	parCfg := p.Cfg
+	parCfg.Parallelism = 4
+	par, err := core.RunFunctional(parCfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	return algo.CompareResults("block-parallel vs sequential schedule", par, seq)
 }
 
 // analyticModel instantiates the Eq. 1–16 model at the point's operating

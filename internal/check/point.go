@@ -29,10 +29,20 @@ type Point struct {
 	Cfg       core.Config
 	Workload  core.Workload
 
-	sim     *core.Result
-	simErr  error
-	flat    *algo.Result
-	flatErr error
+	machine    *core.Machine
+	machineErr error
+	flat       *algo.Result
+	flatErr    error
+}
+
+// Machine memoizes the assembled simulator of the point: the grid is
+// partitioned once and shared by the cost run and the blocked
+// functional run (which previously each rebuilt it).
+func (p *Point) Machine() (*core.Machine, error) {
+	if p.machine == nil && p.machineErr == nil {
+		p.machine, p.machineErr = core.NewMachine(p.Cfg, p.Workload)
+	}
+	return p.machine, p.machineErr
 }
 
 // Sim memoizes the cost-model simulation of the point: several
@@ -40,10 +50,21 @@ type Point struct {
 // functional execution to derive the iteration count) dominates a
 // point's cost.
 func (p *Point) Sim() (*core.Result, error) {
-	if p.sim == nil && p.simErr == nil {
-		p.sim, p.simErr = core.Simulate(p.Cfg, p.Workload)
+	m, err := p.Machine()
+	if err != nil {
+		return nil, err
 	}
-	return p.sim, p.simErr
+	return m.Simulate()
+}
+
+// Blocked memoizes the blocked (Algorithm 2 schedule) functional run of
+// the point, on the same machine — and therefore the same grid — as Sim.
+func (p *Point) Blocked() (*algo.Result, error) {
+	m, err := p.Machine()
+	if err != nil {
+		return nil, err
+	}
+	return m.RunFunctional()
 }
 
 // Flat memoizes the flat (edge-order) functional run of the program.

@@ -78,6 +78,14 @@ type Config struct {
 	// role is treated as non-volatile for power gating.
 	CustomEdgeDevice device.Memory
 
+	// Parallelism bounds the host CPU workers a single run may use for
+	// its own internal work: the parallel grid build and the
+	// block-parallel functional execution. It is a host-resource knob,
+	// not a model parameter — results are bit-identical at every value.
+	// 0 (the default) means GOMAXPROCS; 1 reproduces the fully
+	// sequential behavior.
+	Parallelism int
+
 	// SyncOverhead is the per-step PU barrier cost (Algorithm 2 line 12).
 	SyncOverhead units.Time
 	// RerouteCycles is the router reconfiguration cost in on-chip SRAM
@@ -117,6 +125,9 @@ func (c Config) Validate() error {
 	}
 	if c.SyncOverhead < 0 || c.RerouteCycles < 0 {
 		return fmt.Errorf("core: negative scheduling overheads")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
 	}
 	return nil
 }

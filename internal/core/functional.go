@@ -1,7 +1,10 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/algo"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 )
 
@@ -13,15 +16,18 @@ import (
 // bit-identical values to the flat algo.Run oracle; the tests enforce
 // that equivalence, which is the correctness argument for the
 // data-sharing schedule.
+//
+// The n blocks of one schedule step update owner-disjoint destination
+// intervals (§4.2 owner-computes: PU p owns interval y·n+p), so they
+// stream on cfg.Parallelism workers with a barrier per step; each
+// destination still sees its edges in the canonical schedule order, so
+// the result is bit-identical at every worker count.
 func RunFunctional(cfg Config, w Workload) (*algo.Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	s, err := newSim(cfg, w)
+	m, err := NewMachine(cfg, w)
 	if err != nil {
 		return nil, err
 	}
-	return s.runFunctional()
+	return m.RunFunctional()
 }
 
 func (s *machine) runFunctional() (*algo.Result, error) {
@@ -31,6 +37,13 @@ func (s *machine) runFunctional() (*algo.Result, error) {
 	}
 	n := s.cfg.NumPUs
 	pn := s.p / n
+	workers := parallel.Workers(s.cfg.Parallelism)
+	if workers > n {
+		workers = n
+	}
+	// Per-PU counter slots, merged after each step's barrier; reused
+	// across steps (each step overwrites every slot it touches).
+	stats := make([]algo.KernelStats, n)
 	for !st.Done() {
 		if st.Iteration > st.MaxIterations() {
 			return nil, errNoConvergence(s.w.Program.Name(), st.Iteration)
@@ -39,8 +52,18 @@ func (s *machine) runFunctional() (*algo.Result, error) {
 		for y := 0; y < pn; y++ {
 			for x := 0; x < pn; x++ {
 				for step := 0; step < n; step++ {
+					err := parallel.ForEach(workers, n, func(p int) error {
+						var ks algo.KernelStats
+						src, dst := x*n+(p+step)%n, y*n+p
+						st.ProcessEdgesInto(&ks, s.grid.Block(src, dst), s.grid.BlockWeights(src, dst))
+						stats[p] = ks
+						return nil
+					})
+					if err != nil {
+						return nil, err
+					}
 					for p := 0; p < n; p++ {
-						s.processBlock(st, x*n+(p+step)%n, y*n+p)
+						st.AddStats(stats[p])
 					}
 				}
 			}
@@ -57,29 +80,78 @@ func (s *machine) runFunctional() (*algo.Result, error) {
 	}, nil
 }
 
-func (s *machine) processBlock(st *algo.State, src, dst int) {
-	edges := s.grid.Block(src, dst)
-	weights := s.grid.BlockWeights(src, dst)
-	for i, e := range edges {
-		w := float32(1)
-		if weights != nil {
-			w = weights[i]
-		}
-		st.ProcessEdge(e, w)
-	}
-}
-
 // Grid exposes the simulator's partition for inspection in tests and
 // experiments.
 func Grid(cfg Config, w Workload) (*partition.Grid, int, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, 0, err
-	}
-	s, err := newSim(cfg, w)
+	m, err := NewMachine(cfg, w)
 	if err != nil {
 		return nil, 0, err
 	}
-	return s.grid, s.p, nil
+	return m.Grid(), m.P(), nil
+}
+
+// Machine is one assembled simulator instance for a (Config, Workload)
+// point: the devices, regions, and — most importantly — the partitioned
+// grid are built once and shared by every run of the point. Use it when
+// the same point needs both the functional pre-run and the cost run
+// (the conformance harness, experiment sweeps that cross-check), which
+// previously paid a full grid rebuild for each.
+//
+// Both runs are memoized: the machine executes each at most once, so
+// accumulating internals (the power-gate statistics) stay single-run
+// exact. A Machine must not be shared across goroutines without
+// external synchronization beyond the memoized getters, which are
+// mutex-guarded and safe.
+type Machine struct {
+	s *machine
+
+	mu      sync.Mutex
+	funcRes *algo.Result
+	funcErr error
+	funcRun bool
+	simRes  *Result
+	simErr  error
+	simRun  bool
+}
+
+// NewMachine validates the point and assembles the simulator once.
+func NewMachine(cfg Config, w Workload) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s, err := newSim(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{s: s}, nil
+}
+
+// Grid returns the shared partitioned graph.
+func (m *Machine) Grid() *partition.Grid { return m.s.grid }
+
+// P returns the interval count the machine chose.
+func (m *Machine) P() int { return m.s.p }
+
+// RunFunctional runs (once; memoized) the blocked functional execution.
+func (m *Machine) RunFunctional() (*algo.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.funcRun {
+		m.funcRes, m.funcErr = m.s.runFunctional()
+		m.funcRun = true
+	}
+	return m.funcRes, m.funcErr
+}
+
+// Simulate runs (once; memoized) the cost simulation.
+func (m *Machine) Simulate() (*Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.simRun {
+		m.simRes, m.simErr = m.s.run()
+		m.simRun = true
+	}
+	return m.simRes, m.simErr
 }
 
 type convergenceError struct {

@@ -245,7 +245,7 @@ func newSim(cfg Config, w Workload) (*machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.grid, err = partition.Build(w.Graph, asg); err != nil {
+	if s.grid, err = partition.BuildParallel(w.Graph, asg, cfg.Parallelism); err != nil {
 		return nil, err
 	}
 

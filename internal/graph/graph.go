@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // VertexID indexes a vertex. The paper assumes 32-bit vertex indices
@@ -33,10 +34,20 @@ const EdgeBytes = 8
 //
 // Weights, when non-nil, holds one constant weight per edge (used by
 // SSSP/SpMV); per the paper, weights never change during execution.
+//
+// Topology is immutable after generation: once any consumer has seen the
+// graph (a state, a partition, a degree query), Edges and NumVertices
+// must not change. Dynamic-graph workloads (internal/dynamic) snapshot
+// into fresh Graphs instead of mutating one in place. OutDegrees relies
+// on this contract to memoize; SortEdges and AttachUniformWeights are
+// generation-time steps that run before the graph is shared.
 type Graph struct {
 	NumVertices int
 	Edges       []Edge
 	Weights     []float32
+
+	outDegOnce sync.Once
+	outDeg     []int
 }
 
 // NumEdges returns the number of directed edges.
@@ -74,13 +85,20 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// OutDegrees returns the out-degree of every vertex.
+// OutDegrees returns the out-degree of every vertex. The scan runs once
+// per graph and the result is memoized: every later call (from any
+// goroutine — the memo is a sync.Once) returns the same shared slice.
+// Callers must treat it as read-only, and per the immutability contract
+// on Graph the edge list must not be mutated after the first call.
 func (g *Graph) OutDegrees() []int {
-	deg := make([]int, g.NumVertices)
-	for _, e := range g.Edges {
-		deg[e.Src]++
-	}
-	return deg
+	g.outDegOnce.Do(func() {
+		deg := make([]int, g.NumVertices)
+		for _, e := range g.Edges {
+			deg[e.Src]++
+		}
+		g.outDeg = deg
+	})
+	return g.outDeg
 }
 
 // InDegrees returns the in-degree of every vertex.

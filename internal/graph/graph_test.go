@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -422,5 +423,43 @@ func TestGiniInCapturesInSkew(t *testing.T) {
 	ps := ComputeStats(pa)
 	if ps.GiniIn < 0.3 {
 		t.Errorf("preferential attachment GiniIn %v implausibly low", ps.GiniIn)
+	}
+}
+
+// OutDegrees is computed once per graph and shared: repeated calls must
+// return the same backing slice, concurrent first calls must be
+// race-clean, and a Clone must get its own fresh memo.
+func TestOutDegreesMemoized(t *testing.T) {
+	g := &Graph{NumVertices: 4, Edges: []Edge{{0, 1}, {0, 2}, {1, 2}, {3, 3}}}
+	first := g.OutDegrees()
+	if &first[0] != &g.OutDegrees()[0] {
+		t.Error("repeated OutDegrees calls returned distinct slices")
+	}
+
+	fresh := &Graph{NumVertices: 64, Edges: mustChain(t, 64).Edges}
+	var wg sync.WaitGroup
+	got := make([][]int, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = fresh.OutDegrees()
+		}(i)
+	}
+	wg.Wait()
+	for i := range got {
+		if &got[i][0] != &got[0][0] {
+			t.Fatalf("concurrent call %d got a different slice", i)
+		}
+	}
+	for v := 0; v < 63; v++ {
+		if got[0][v] != 1 {
+			t.Fatalf("chain out-degree(%d) = %d, want 1", v, got[0][v])
+		}
+	}
+
+	c := g.Clone()
+	if &c.OutDegrees()[0] == &first[0] {
+		t.Error("Clone shares the out-degree memo with the original")
 	}
 }

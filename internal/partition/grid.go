@@ -2,8 +2,10 @@ package partition
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // Grid is the interval-block partitioned form of a graph: all edges
@@ -24,38 +26,145 @@ type Grid struct {
 
 // Build partitions g under the assigner using a two-pass counting sort:
 // O(|E|) time, no per-block allocation. This is the production layout
-// path used by the simulator.
+// path used by the simulator; it parallelizes across all available CPUs
+// (see BuildParallel for the worker knob and the determinism argument).
 func Build(g *graph.Graph, a Assigner) (*Grid, error) {
+	return BuildParallel(g, a, 0)
+}
+
+// BuildParallel is Build with an explicit worker count (≤0 means
+// GOMAXPROCS, 1 runs fully inline). The layout is byte-identical at any
+// worker count: pass one computes per-chunk block histograms in
+// parallel, a sequential prefix sum turns them into per-chunk write
+// cursors — chunks in edge-list order, so the sort stays stable — and
+// pass two scatters each chunk into its disjoint slots of the
+// preallocated edge/weight arrays.
+func BuildParallel(g *graph.Graph, a Assigner, workers int) (*Grid, error) {
 	if g.NumVertices != a.NumVertices() {
 		return nil, fmt.Errorf("partition: assigner built for %d vertices, graph has %d",
 			a.NumVertices(), g.NumVertices)
 	}
 	p := a.P()
 	nb := p * p
+	ne := len(g.Edges)
+	if int64(p)*int64(p) > math.MaxInt32 {
+		return nil, fmt.Errorf("partition: %d intervals produce more blocks than addressable", p)
+	}
+
+	// Chunking: one chunk per worker, but never so many that histogram
+	// storage (chunks·P² cursors) dwarfs the edge list itself.
+	chunks := parallel.Workers(workers)
+	for chunks > 1 && (ne/chunks < 4096 || chunks*nb > 4*ne+nb) {
+		chunks--
+	}
+	chunkBounds := func(c int) (int, int) { return c * ne / chunks, (c + 1) * ne / chunks }
+
+	// Pass 1: per-chunk histograms, memoizing each edge's block id so the
+	// scatter pass does not recompute the two interval divisions.
+	ids := make([]int32, ne)
+	counts := make([]int64, chunks*nb)
+	_ = parallel.ForEach(chunks, chunks, func(c int) error {
+		lo, hi := chunkBounds(c)
+		fillBlockIDs(a, g.Edges, ids, lo, hi, counts[c*nb:(c+1)*nb])
+		return nil
+	})
+
+	// Prefix sum in (block, chunk) order: offsets delimit blocks, and
+	// each chunk's counter becomes its private write cursor inside the
+	// block — earlier chunks write earlier slots, preserving edge order.
 	offsets := make([]int64, nb+1)
-	for _, e := range g.Edges {
-		offsets[blockID(a, e)+1]++
-	}
+	var total int64
 	for b := 0; b < nb; b++ {
-		offsets[b+1] += offsets[b]
+		offsets[b] = total
+		for c := 0; c < chunks; c++ {
+			n := counts[c*nb+b]
+			counts[c*nb+b] = total
+			total += n
+		}
 	}
-	edges := make([]graph.Edge, len(g.Edges))
+	offsets[nb] = total
+
+	// Pass 2: parallel scatter; chunks write disjoint index ranges per
+	// block, so the only shared state is read-only.
+	edges := make([]graph.Edge, ne)
 	var weights []float32
 	if g.Weights != nil {
-		weights = make([]float32, len(g.Edges))
+		weights = make([]float32, ne)
 	}
-	next := make([]int64, nb)
-	copy(next, offsets[:nb])
-	for i, e := range g.Edges {
-		b := blockID(a, e)
-		at := next[b]
-		edges[at] = e
+	_ = parallel.ForEach(chunks, chunks, func(c int) error {
+		lo, hi := chunkBounds(c)
+		cur := counts[c*nb : (c+1)*nb]
 		if weights != nil {
-			weights[at] = g.Weights[i]
+			for i := lo; i < hi; i++ {
+				at := cur[ids[i]]
+				cur[ids[i]]++
+				edges[at] = g.Edges[i]
+				weights[at] = g.Weights[i]
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				at := cur[ids[i]]
+				cur[ids[i]]++
+				edges[at] = g.Edges[i]
+			}
 		}
-		next[b]++
-	}
+		return nil
+	})
 	return &Grid{Assigner: a, edges: edges, weights: weights, offsets: offsets}, nil
+}
+
+// fillBlockIDs computes block ids for edges[lo:hi] into ids and bumps
+// the per-block histogram. The two production assigners get
+// monomorphized loops — the interface-dispatched fallback costs three
+// dynamic calls per edge, which at hundreds of millions of edges is the
+// dominant build cost.
+func fillBlockIDs(a Assigner, edges []graph.Edge, ids []int32, lo, hi int, counts []int64) {
+	switch t := a.(type) {
+	case *Hashed:
+		p := uint32(t.p)
+		if p&(p-1) == 0 {
+			// Power-of-two interval count (every ChooseP result with a
+			// power-of-two PU count and SRAM size): mask instead of mod.
+			mask, shift := p-1, log2(p)
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				b := int32((e.Src&mask)<<shift | e.Dst&mask)
+				ids[i] = b
+				counts[b]++
+			}
+			return
+		}
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			b := int32(e.Src%p*p + e.Dst%p)
+			ids[i] = b
+			counts[b]++
+		}
+	case *Contiguous:
+		p, span := uint32(t.p), uint32(t.span)
+		if span&(span-1) == 0 {
+			shift := log2(span)
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				b := int32((e.Src>>shift)*p + e.Dst>>shift)
+				ids[i] = b
+				counts[b]++
+			}
+			return
+		}
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			b := int32(e.Src/span*p + e.Dst/span)
+			ids[i] = b
+			counts[b]++
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			b := int32(blockID(a, edges[i]))
+			ids[i] = b
+			counts[b]++
+		}
+	}
 }
 
 // BuildBuckets partitions g with per-block dynamic arrays (append-based),
@@ -102,6 +211,16 @@ func BuildBuckets(g *graph.Graph, a Assigner) (*Grid, error) {
 
 func blockID(a Assigner, e graph.Edge) int {
 	return a.IntervalOf(e.Src)*a.P() + a.IntervalOf(e.Dst)
+}
+
+// log2 returns the exponent of a power of two.
+func log2(p uint32) uint32 {
+	var s uint32
+	for p > 1 {
+		p >>= 1
+		s++
+	}
+	return s
 }
 
 // P returns the number of intervals per dimension.

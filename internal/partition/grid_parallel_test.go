@@ -1,0 +1,137 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// sequentialReference rebuilds the grid the way the pre-parallel Build
+// did — one interface-dispatched counting sort — as the byte-identity
+// oracle for BuildParallel.
+func sequentialReference(t *testing.T, g *graph.Graph, a Assigner) *Grid {
+	t.Helper()
+	p := a.P()
+	nb := p * p
+	offsets := make([]int64, nb+1)
+	for _, e := range g.Edges {
+		offsets[blockID(a, e)+1]++
+	}
+	for b := 0; b < nb; b++ {
+		offsets[b+1] += offsets[b]
+	}
+	edges := make([]graph.Edge, len(g.Edges))
+	var weights []float32
+	if g.Weights != nil {
+		weights = make([]float32, len(g.Edges))
+	}
+	next := make([]int64, nb)
+	copy(next, offsets[:nb])
+	for i, e := range g.Edges {
+		b := blockID(a, e)
+		at := next[b]
+		edges[at] = e
+		if weights != nil {
+			weights[at] = g.Weights[i]
+		}
+		next[b]++
+	}
+	return &Grid{Assigner: a, edges: edges, weights: weights, offsets: offsets}
+}
+
+func gridsIdentical(t *testing.T, label string, got, want *Grid) {
+	t.Helper()
+	if !reflect.DeepEqual(got.edges, want.edges) {
+		t.Fatalf("%s: edge layout differs", label)
+	}
+	if !reflect.DeepEqual(got.weights, want.weights) {
+		t.Fatalf("%s: weight layout differs", label)
+	}
+	if !reflect.DeepEqual(got.offsets, want.offsets) {
+		t.Fatalf("%s: block offsets differ", label)
+	}
+}
+
+// BuildParallel must produce a byte-identical Grid to the sequential
+// counting sort at every worker count, for both assigners, power-of-two
+// and ragged interval counts, weighted and unweighted graphs.
+func TestBuildParallelByteIdentical(t *testing.T) {
+	unweighted := testGraph(t)
+	weighted := unweighted.Clone()
+	graph.AttachUniformWeights(weighted, 8, 3)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"unweighted", unweighted}, {"weighted", weighted}} {
+		for _, p := range []int{1, 7, 8, 32, 100} {
+			for name, a := range assigners(t, tc.g.NumVertices, p) {
+				want := sequentialReference(t, tc.g, a)
+				for _, workers := range []int{1, 2, 3, 8, 0} {
+					got, err := BuildParallel(tc.g, a, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := tc.name + "/" + name
+					if got.P() != p {
+						t.Fatalf("%s: P=%d, want %d", label, got.P(), p)
+					}
+					gridsIdentical(t, label, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Degenerate inputs: an edgeless graph and a single-vertex graph must
+// still produce well-formed (empty) grids at any worker count.
+func TestBuildParallelDegenerate(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		{NumVertices: 1},
+		{NumVertices: 16},
+	} {
+		a, err := NewHashed(g.NumVertices, g.NumVertices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			gr, err := BuildParallel(g, a, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gr.NumEdges() != 0 || gr.NonEmpty() != 0 {
+				t.Fatalf("empty graph produced %d edges, %d non-empty blocks",
+					gr.NumEdges(), gr.NonEmpty())
+			}
+			if err := gr.CheckPartition(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// The self-loop corner: loops land on the diagonal under both assigners
+// at every worker count.
+func TestBuildParallelSelfLoops(t *testing.T) {
+	g := &graph.Graph{NumVertices: 9, Edges: []graph.Edge{
+		{Src: 0, Dst: 0}, {Src: 4, Dst: 4}, {Src: 8, Dst: 8}, {Src: 0, Dst: 8},
+	}}
+	for name, a := range assigners(t, 9, 3) {
+		for _, workers := range []int{1, 3} {
+			gr, err := BuildParallel(g, a, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diag := 0
+			for i := 0; i < 3; i++ {
+				diag += gr.BlockLen(i, i)
+			}
+			if diag != 3 {
+				t.Fatalf("%s workers=%d: %d diagonal edges, want 3", name, workers, diag)
+			}
+			if err := gr.CheckPartition(g); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
