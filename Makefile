@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke check
+.PHONY: all build test vet race bench bench-json bench-smoke fault-smoke check
 
 # The committed benchmark artifact for this PR; bump per PR so the repo
 # accumulates a benchstat-style history (compare two with
@@ -40,5 +40,12 @@ bench-json:
 # iteration each), catching bit-rot without burning CI minutes.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# fault-smoke drives the resilience layer end to end in bounded time:
+# the reliability experiment (BER sweep, SECDED accounting, bank
+# sparing) plus a conformance sweep with the per-point watchdog armed.
+fault-smoke:
+	timeout 15s $(GO) run ./cmd/hyve-bench -quick -run reliability
+	$(GO) run ./cmd/hyve-check -seed 1 -duration 10s -point-timeout 60s
 
 check: vet build test race

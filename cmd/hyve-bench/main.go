@@ -41,6 +41,7 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		par    = flag.Int("parallel", 0, "worker count for simulation points and concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
 		artDir = flag.String("artifact-dir", "", "also write one canonical JSON artifact per experiment (plus manifest.json) to this directory")
+		resume = flag.Bool("resume", false, "with -artifact-dir: skip experiments whose artifact file already exists and validates, rerunning only missing or damaged ones")
 		pprof  = flag.String("pprof", "", "serve net/http/pprof and expvar worker-pool counters on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -72,7 +73,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := runAll(os.Stdout, os.Stderr, todo, opt, *artDir); err != nil {
+	if *resume && *artDir == "" {
+		fmt.Fprintln(os.Stderr, "hyve-bench: -resume requires -artifact-dir")
+		os.Exit(1)
+	}
+
+	if err := runAll(os.Stdout, os.Stderr, todo, opt, *artDir, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

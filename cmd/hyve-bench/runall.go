@@ -27,8 +27,17 @@ import (
 // JSON artifact (<id>.json) there, plus a run-level manifest.json
 // recording worker count and wall time — the host-side facts that must
 // stay out of the per-experiment documents so those are byte-identical
-// at any -parallel value.
-func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiments.Options, artifactDir string) error {
+// at any -parallel value. Artifact files are written atomically
+// (obs.WriteAtomic): a run killed mid-write never leaves a truncated
+// document under a final name.
+//
+// With resume also set, experiments whose artifact file already exists,
+// decodes strictly, and validates are skipped — their files are left
+// byte-for-byte untouched — and only the missing or damaged ones run.
+// Because artifact content is deterministic, a crashed run plus a
+// -resume run produces exactly the bytes one uninterrupted run would
+// have (pinned by TestRunAllResume).
+func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiments.Options, artifactDir string, resume bool) error {
 	workers := parallel.Workers(opt.Parallel)
 	if opt.Parallel < 0 {
 		workers = 1
@@ -37,12 +46,19 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 	elapsed := make([]time.Duration, len(todo))
 
 	arts := make([]*obs.Artifact, len(todo))
+	skip := make([]bool, len(todo))
 	if artifactDir != "" {
 		if err := os.MkdirAll(artifactDir, 0o755); err != nil {
 			return err
 		}
 		for i, e := range todo {
 			arts[i] = experiments.NewRunArtifact(e, opt)
+			if resume {
+				skip[i] = validArtifact(filepath.Join(artifactDir, e.ID+".json"), e.ID)
+				if skip[i] {
+					fmt.Fprintf(progress, "(%s resumed: valid artifact present, skipping)\n", e.ID)
+				}
+			}
 		}
 	}
 
@@ -66,18 +82,10 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 		fmt.Fprintf(progress, "(%s in %v)\n", todo[i].ID, elapsed[i].Round(time.Millisecond))
 	}
 	writeArtifact := func(i int) error {
-		if arts[i] == nil {
+		if arts[i] == nil || skip[i] {
 			return nil
 		}
-		f, err := os.Create(filepath.Join(artifactDir, todo[i].ID+".json"))
-		if err != nil {
-			return err
-		}
-		if err := arts[i].EncodeJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return obs.WriteAtomic(filepath.Join(artifactDir, todo[i].ID+".json"), arts[i].EncodeJSON)
 	}
 	writeManifest := func() error {
 		if artifactDir == "" {
@@ -96,20 +104,15 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 				Seconds: elapsed[i].Seconds(),
 			})
 		}
-		f, err := os.Create(filepath.Join(artifactDir, "manifest.json"))
-		if err != nil {
-			return err
-		}
-		if err := m.EncodeJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return obs.WriteAtomic(filepath.Join(artifactDir, "manifest.json"), m.EncodeJSON)
 	}
 
 	if workers <= 1 || len(todo) == 1 {
 		for i := range todo {
 			header(i)
+			if skip[i] {
+				continue
+			}
 			if err := runOne(i, w); err != nil {
 				return err
 			}
@@ -125,7 +128,7 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 	bufs := make([]bytes.Buffer, len(todo))
 	var simulated []int
 	for i, e := range todo {
-		if !e.Measured {
+		if !e.Measured && !skip[i] {
 			simulated = append(simulated, i)
 		}
 	}
@@ -139,7 +142,7 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 
 	// Phase 2: measured experiments, one at a time, machine to themselves.
 	for i, e := range todo {
-		if e.Measured {
+		if e.Measured && !skip[i] {
 			if err := runOne(i, &bufs[i]); err != nil {
 				return err
 			}
@@ -149,6 +152,9 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 	var aggregate time.Duration
 	for i := range todo {
 		header(i)
+		if skip[i] {
+			continue
+		}
 		if _, err := w.Write(bufs[i].Bytes()); err != nil {
 			return err
 		}
@@ -167,4 +173,24 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 		wall.Round(time.Millisecond), aggregate.Round(time.Millisecond), workers,
 		aggregate.Seconds()/wall.Seconds())
 	return err
+}
+
+// validArtifact reports whether the file at path is a complete, valid
+// artifact for experiment id — the -resume predicate. Anything short of
+// a strict decode plus schema validation plus a matching id (a missing
+// file, a truncated document, a foreign JSON object, an artifact moved
+// between ids) means the experiment reruns; atomically-written files
+// make truncation impossible in practice, but the predicate never
+// trusts that.
+func validArtifact(path, id string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	a, err := obs.DecodeJSON(f)
+	if err != nil {
+		return false
+	}
+	return a.Validate() == nil && a.ID == id
 }

@@ -35,10 +35,10 @@ func fakeSuite() []experiments.Experiment {
 func TestRunAllOrderAndDeterminism(t *testing.T) {
 	suite := fakeSuite()
 	var serial, par, serialProg, parProg bytes.Buffer
-	if err := runAll(&serial, &serialProg, suite, experiments.Options{Parallel: -1}, ""); err != nil {
+	if err := runAll(&serial, &serialProg, suite, experiments.Options{Parallel: -1}, "", false); err != nil {
 		t.Fatalf("serial runAll: %v", err)
 	}
-	if err := runAll(&par, &parProg, suite, experiments.Options{Parallel: 8}, ""); err != nil {
+	if err := runAll(&par, &parProg, suite, experiments.Options{Parallel: 8}, "", false); err != nil {
 		t.Fatalf("parallel runAll: %v", err)
 	}
 	// With the timing annotations routed to the progress writer, stdout
@@ -78,7 +78,7 @@ func TestRunAllPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
 	suite[2].Run = func(w io.Writer, opt experiments.Options) error { return boom }
 	for _, workers := range []int{-1, 8} {
-		err := runAll(io.Discard, io.Discard, suite, experiments.Options{Parallel: workers}, "")
+		err := runAll(io.Discard, io.Discard, suite, experiments.Options{Parallel: workers}, "", false)
 		if err == nil || !errors.Is(err, boom) {
 			t.Errorf("Parallel=%d: want wrapped boom error, got %v", workers, err)
 		}
@@ -95,7 +95,7 @@ func TestRunAllPropagatesError(t *testing.T) {
 // excluded: it records worker count and wall time by design.
 func TestArtifactBytesIdenticalAcrossWorkers(t *testing.T) {
 	var suite []experiments.Experiment
-	for _, id := range []string{"table3", "fig9"} {
+	for _, id := range []string{"table3", "fig9", "reliability"} {
 		e, err := experiments.ByID(id)
 		if err != nil {
 			t.Fatal(err)
@@ -108,7 +108,7 @@ func TestArtifactBytesIdenticalAcrossWorkers(t *testing.T) {
 		if workers == 1 {
 			opt.Parallel = -1
 		}
-		if err := runAll(io.Discard, io.Discard, suite, opt, dir); err != nil {
+		if err := runAll(io.Discard, io.Discard, suite, opt, dir, false); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 	}
@@ -132,6 +132,137 @@ func TestArtifactBytesIdenticalAcrossWorkers(t *testing.T) {
 	for _, dir := range dirs {
 		if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
 			t.Errorf("missing manifest.json: %v", err)
+		}
+	}
+}
+
+// TestRunAllResume is the crash-recovery contract: a run that died
+// partway (simulated by a partial artifact directory containing one
+// valid artifact, one truncated file, and one missing file) plus a
+// -resume run must produce an artifact directory byte-identical to one
+// uninterrupted run — and must not rerun the experiment whose artifact
+// survived.
+func TestRunAllResume(t *testing.T) {
+	var suite []experiments.Experiment
+	for _, id := range []string{"table3", "fig9", "fig14"} {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, e)
+	}
+	opt := experiments.Options{Quick: true, Parallel: -1}
+
+	// Reference: one uninterrupted run.
+	full := t.TempDir()
+	if err := runAll(io.Discard, io.Discard, suite, opt, full, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crashed run: table3 completed, fig9 truncated mid-document (as if
+	// written non-atomically by a killed process), fig14 never started.
+	part := t.TempDir()
+	table3, err := os.ReadFile(filepath.Join(full, "table3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(part, "table3.json"), table3, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fig9, err := os.ReadFile(filepath.Join(full, "fig9.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(part, "fig9.json"), fig9[:len(fig9)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var progress bytes.Buffer
+	if err := runAll(io.Discard, &progress, suite, opt, part, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(progress.String(), "(table3 resumed:") {
+		t.Errorf("valid surviving artifact not skipped:\n%s", progress.String())
+	}
+	for _, bad := range []string{"(fig9 resumed:", "(fig14 resumed:"} {
+		if strings.Contains(progress.String(), bad) {
+			t.Errorf("damaged/missing artifact wrongly skipped: %s", bad)
+		}
+	}
+	for _, e := range suite {
+		name := e.ID + ".json"
+		want, err := os.ReadFile(filepath.Join(full, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(part, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between resumed and uninterrupted run", name)
+		}
+	}
+}
+
+func TestValidArtifactPredicate(t *testing.T) {
+	dir := t.TempDir()
+	if validArtifact(filepath.Join(dir, "absent.json"), "absent") {
+		t.Error("missing file reported valid")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"hyve/artifact/v1","id":"bad"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if validArtifact(bad, "bad") {
+		t.Error("truncated file reported valid")
+	}
+	foreign := filepath.Join(dir, "foreign.json")
+	if err := os.WriteFile(foreign, []byte(`{"hello":"world"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if validArtifact(foreign, "foreign") {
+		t.Error("foreign JSON reported valid")
+	}
+}
+
+// TestGoldenQuickArtifacts holds the current build to artifacts captured
+// before the fault-injection layer existed: with the fault layer at its
+// zero value, every experiment's canonical JSON must remain byte-for-
+// byte what it was. Regenerate the goldens (only after an intentional
+// output change) with:
+//
+//	go run ./cmd/hyve-bench -quick -run table3,fig9,fig14,fig16 \
+//	    -artifact-dir cmd/hyve-bench/testdata/golden-quick
+//	rm cmd/hyve-bench/testdata/golden-quick/manifest.json
+func TestGoldenQuickArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweep still simulates every config; skip under -short")
+	}
+	ids := []string{"table3", "fig9", "fig14", "fig16"}
+	var suite []experiments.Experiment
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, e)
+	}
+	dir := t.TempDir()
+	if err := runAll(io.Discard, io.Discard, suite, experiments.Options{Quick: true}, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		got, err := os.ReadFile(filepath.Join(dir, id+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", "golden-quick", id+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s.json drifted from the pre-fault-layer golden (%d vs %d bytes)", id, len(got), len(want))
 		}
 	}
 }

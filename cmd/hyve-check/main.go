@@ -11,7 +11,9 @@
 //	hyve-check -list                 # invariants and tolerances
 //
 // Exit status is 0 when every invariant held at every point, 1 when a
-// violation was found, 2 on setup failure.
+// violation was found, 2 on setup failure — or when points hit
+// -point-timeout and no violation was found, so an incomplete sweep
+// can never pass silently.
 package main
 
 import (
@@ -34,6 +36,7 @@ func run(args []string, out, errOut io.Writer) int {
 	seed := fs.Uint64("seed", 1, "base seed; point i uses seed+i")
 	points := fs.Int("points", 0, "number of points to sweep (0 = until -duration)")
 	duration := fs.Duration("duration", 30*time.Second, "wall-clock budget (0 = until -points)")
+	pointTimeout := fs.Duration("point-timeout", 60*time.Second, "abandon any single point that runs longer than this, record its seed, and continue (0 = no limit)")
 	verbose := fs.Bool("v", false, "print every point, not just failures")
 	list := fs.Bool("list", false, "list invariants and tolerances, then exit")
 	if err := fs.Parse(args); err != nil {
@@ -53,11 +56,12 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	sum, err := check.Run(check.Options{
-		Seed:     *seed,
-		Points:   *points,
-		Duration: *duration,
-		Verbose:  *verbose,
-		Out:      out,
+		Seed:         *seed,
+		Points:       *points,
+		Duration:     *duration,
+		Verbose:      *verbose,
+		Out:          out,
+		PointTimeout: *pointTimeout,
 	})
 	if err != nil {
 		fmt.Fprintf(errOut, "hyve-check: %v\n", err)
@@ -66,6 +70,12 @@ func run(args []string, out, errOut io.Writer) int {
 	sum.WriteReport(out)
 	if !sum.OK() {
 		return 1
+	}
+	if !sum.Complete() {
+		// No violation was observed, but abandoned points mean the sweep
+		// did not check everything: refuse to pass silently.
+		fmt.Fprintf(errOut, "hyve-check: %d point(s) timed out; sweep incomplete\n", len(sum.TimedOut))
+		return 2
 	}
 	return 0
 }

@@ -40,3 +40,18 @@ func TestRunBadFlags(t *testing.T) {
 		t.Errorf("stray positional argument exited %d, want 2", code)
 	}
 }
+
+func TestRunPointTimeoutExitsIncomplete(t *testing.T) {
+	var out, errOut bytes.Buffer
+	// Every point abandoned, no violations: the sweep must refuse to
+	// pass silently and exit 2.
+	if code := run([]string{"-seed", "1", "-points", "2", "-point-timeout", "1ns"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "TIMEOUT seed=1") {
+		t.Errorf("stdout does not record the offending seed:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "sweep incomplete") {
+		t.Errorf("stderr does not flag the incomplete sweep:\n%s", errOut.String())
+	}
+}

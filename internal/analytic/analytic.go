@@ -82,6 +82,15 @@ type Model struct {
 	C OpCosts
 }
 
+// WithEdgeRead returns a copy of the model with the per-edge-read cost
+// replaced — how the reliability analysis folds an ECC-priced edge
+// access (fault.ECCParams.Apply) into the Eq. 1–16 decomposition and
+// reads the EDP overhead straight off Time()·Energy().
+func (m Model) WithEdgeRead(c device.Cost) Model {
+	m.C.EdgeRead = c
+	return m
+}
+
 // Time evaluates Eq. (1)'s exact form:
 //
 //	T = N^R_{v,s}·T^R_{v,s} + N^R_e·max(T^R_{v,r}, T^R_e, T_pu, T^W_{v,r})

@@ -119,3 +119,49 @@ func TestInvariantRegistryWellFormed(t *testing.T) {
 		seen[inv.Name] = true
 	}
 }
+
+func TestRunPointTimeoutAbandonsAndContinues(t *testing.T) {
+	var out bytes.Buffer
+	// A nanosecond limit is below any real point's build time, so every
+	// point must be abandoned: no failures, no completed points, every
+	// seed recorded, and the sweep itself still terminates.
+	sum, err := Run(Options{Seed: 1, Points: 3, PointTimeout: time.Nanosecond, Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Points != 0 || len(sum.TimedOut) != 3 {
+		t.Fatalf("Points=%d TimedOut=%d, want 0 and 3", sum.Points, len(sum.TimedOut))
+	}
+	for i, to := range sum.TimedOut {
+		if to.Seed != uint64(1+i) || to.Limit != time.Nanosecond {
+			t.Errorf("TimedOut[%d] = %+v", i, to)
+		}
+	}
+	if !sum.OK() {
+		t.Error("timed-out points must not count as violations")
+	}
+	if sum.Complete() {
+		t.Error("Complete() must be false with abandoned points")
+	}
+	if !strings.Contains(out.String(), "TIMEOUT seed=1") {
+		t.Errorf("missing TIMEOUT progress line:\n%s", out.String())
+	}
+	var rep bytes.Buffer
+	sum.WriteReport(&rep)
+	if !strings.Contains(rep.String(), "PASS (incomplete)") {
+		t.Errorf("report must flag the incomplete pass:\n%s", rep.String())
+	}
+	if !strings.Contains(rep.String(), "-seed 1 -points 1") {
+		t.Errorf("report must say how to reproduce the abandoned seed:\n%s", rep.String())
+	}
+}
+
+func TestRunGenerousPointTimeoutCompletes(t *testing.T) {
+	sum, err := Run(Options{Seed: 1, Points: 1, PointTimeout: 10 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Points != 1 || !sum.Complete() {
+		t.Fatalf("Points=%d TimedOut=%d, want a completed sweep", sum.Points, len(sum.TimedOut))
+	}
+}

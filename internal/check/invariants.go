@@ -13,6 +13,7 @@ import (
 	"repro/internal/device/rram"
 	"repro/internal/device/sram"
 	"repro/internal/dynamic"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/graphr"
 	"repro/internal/mem"
@@ -103,6 +104,16 @@ func Invariants() []Invariant {
 			Name:      "artifact-roundtrip",
 			Tolerance: "byte-exact canonical re-encoding after decode",
 			Check:     checkArtifactRoundtrip,
+		},
+		{
+			Name:      "fault-zero-rate",
+			Tolerance: "exact: zero-rate fault layer bit-identical to no layer",
+			Check:     checkFaultZeroRate,
+		},
+		{
+			Name:      "fault-secded",
+			Tolerance: "counts consistent, seed-deterministic, overhead ≥ 0",
+			Check:     checkFaultSECDED,
 		},
 	}
 }
@@ -354,6 +365,103 @@ func checkDynamicStores(p *Point) error {
 	}
 	if got := int64(len(hy.Edges())); got != hy.NumEdges() {
 		return fmt.Errorf("check: HyVE store reports %d edges but snapshots %d", hy.NumEdges(), got)
+	}
+	return nil
+}
+
+// checkFaultZeroRate holds the fault layer's "disabled-equivalent"
+// contract: enabling the layer with every rate zero and no ECC must
+// reproduce the fault-free simulation bit-for-bit — same time, same
+// per-component energy, same phase anatomy. Only the bookkeeping
+// LinesRead count may differ (the sweep still scans).
+func checkFaultZeroRate(p *Point) error {
+	base, err := p.Sim()
+	if err != nil {
+		return err
+	}
+	cfg := p.Cfg
+	cfg.Fault = fault.Config{Enabled: true, Seed: p.Seed}
+	r, err := core.Simulate(cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	if r.Report != base.Report {
+		return fmt.Errorf("check: zero-rate fault layer perturbed the report: time %v vs %v, energy %v vs %v",
+			r.Report.Time, base.Report.Time, r.Report.Energy.Total(), base.Report.Energy.Total())
+	}
+	if s := r.Detail.Fault; s.Injected != 0 || s.Corrected != 0 || s.Detected != 0 ||
+		s.Uncorrectable != 0 || s.Silent != 0 || s.BanksFailed != 0 || s.WordDigest != 0 {
+		return fmt.Errorf("check: zero-rate sweep injected something: %+v", s)
+	}
+	got, want := r.Detail, base.Detail
+	got.Fault = fault.Stats{}
+	if got != want {
+		return fmt.Errorf("check: zero-rate fault layer perturbed the detail: %+v vs %+v", got, want)
+	}
+	return nil
+}
+
+// checkFaultSECDED drives the layer hard — a raw BER high enough to put
+// multi-bit words in every run — and holds the outcome to its internal
+// arithmetic: detected = corrected + uncorrectable, every injected bit
+// accounted, the whole Stats struct (digest included) identical on a
+// re-run with the same seed, and the resilience overhead non-negative
+// in both time and energy against the point's fault-free run.
+func checkFaultSECDED(p *Point) error {
+	base, err := p.Sim()
+	if err != nil {
+		return err
+	}
+	cfg := p.Cfg
+	cfg.Fault = fault.Config{
+		Enabled: true, Seed: p.Seed,
+		RawBER:       1e-4,
+		StuckBitRate: 1e-6,
+		ECC:          fault.ECCSECDED,
+	}
+	r1, err := core.Simulate(cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	r2, err := core.Simulate(cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	s := r1.Detail.Fault
+	if s != r2.Detail.Fault {
+		return fmt.Errorf("check: same seed, different fault stats: %+v vs %+v", s, r2.Detail.Fault)
+	}
+	if r1.Report != r2.Report {
+		return fmt.Errorf("check: same seed, different faulted report")
+	}
+	if s.Detected != s.Corrected+s.Uncorrectable {
+		return fmt.Errorf("check: detected %d ≠ corrected %d + uncorrectable %d",
+			s.Detected, s.Corrected, s.Uncorrectable)
+	}
+	if s.Injected < s.Flipped {
+		return fmt.Errorf("check: injected %d bits but flipped %d", s.Injected, s.Flipped)
+	}
+	// Positivity only where a zero outcome is statistically implausible:
+	// each line carries at least one (72,64) codeword, so the expected
+	// flip count is ≥ LinesRead·72·BER. Above 30 expected, P(none) is
+	// e^-30 — tiny conformance graphs legitimately draw zero flips.
+	if minExpected := float64(s.LinesRead) * 72 * cfg.Fault.RawBER; minExpected > 30 && s.Injected == 0 {
+		return fmt.Errorf("check: injected 0 bits at BER %v over %d lines (expected ≥ %.0f)",
+			cfg.Fault.RawBER, s.LinesRead, minExpected)
+	}
+	words := s.Corrected + s.Uncorrectable + s.Silent
+	if words > s.Injected {
+		return fmt.Errorf("check: %d errored words from %d injected bits", words, s.Injected)
+	}
+	if s.Injected > 0 && words == 0 {
+		return fmt.Errorf("check: %d injected bits produced no errored word", s.Injected)
+	}
+	if r1.Report.Time < base.Report.Time {
+		return fmt.Errorf("check: ECC made the run faster: %v vs %v", r1.Report.Time, base.Report.Time)
+	}
+	if r1.Report.Energy.Total() < base.Report.Energy.Total() {
+		return fmt.Errorf("check: ECC made the run cheaper: %v vs %v",
+			r1.Report.Energy.Total(), base.Report.Energy.Total())
 	}
 	return nil
 }

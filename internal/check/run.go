@@ -19,6 +19,12 @@ type Options struct {
 	Verbose bool
 	// Out receives progress and the closing table (nil = discard).
 	Out io.Writer
+	// PointTimeout bounds the wall-clock time of a single point (build +
+	// every invariant). A point that exceeds it is abandoned — its seed
+	// recorded in Summary.TimedOut, its goroutine left to finish or hang
+	// on its own — and the sweep moves on, so one pathological seed
+	// cannot wedge a CI sweep forever. 0 means no limit.
+	PointTimeout time.Duration
 }
 
 // DefaultPoints is the sweep size when neither budget is set.
@@ -40,16 +46,32 @@ type InvariantSummary struct {
 	Failures  int
 }
 
+// TimedOutPoint records a point abandoned at Options.PointTimeout: the
+// seed reproduces it (-seed N -points 1), the limit says how long it
+// was given.
+type TimedOutPoint struct {
+	Seed  uint64
+	Limit time.Duration
+}
+
 // Summary is the outcome of a sweep.
 type Summary struct {
 	Points     int
 	Checks     int
 	Invariants []InvariantSummary
 	Failures   []Failure
+	// TimedOut lists abandoned points. They are not failures — no
+	// invariant was violated — but a sweep with timed-out points did not
+	// actually check everything it was asked to, so drivers must not let
+	// it pass silently (hyve-check exits 2).
+	TimedOut []TimedOutPoint
 }
 
-// OK reports whether the sweep passed.
+// OK reports whether every completed check passed.
 func (s *Summary) OK() bool { return len(s.Failures) == 0 }
+
+// Complete reports whether every point actually ran to completion.
+func (s *Summary) Complete() bool { return len(s.TimedOut) == 0 }
 
 // Run executes the conformance sweep: deterministic seeds Seed, Seed+1,
 // … drive randomized points, and every applicable invariant runs at
@@ -83,33 +105,99 @@ func Run(opt Options) (*Summary, error) {
 			break
 		}
 		seed := opt.Seed + uint64(i)
-		p, err := NewPoint(seed)
+		res, err := runPointWithTimeout(seed, invs, opt.PointTimeout)
 		if err != nil {
-			return sum, fmt.Errorf("check: building point for seed %d: %w", seed, err)
+			return sum, err
+		}
+		if res == nil {
+			// Abandoned at the limit; its goroutine finishes (or hangs)
+			// on its own and its results, if any, are discarded.
+			sum.TimedOut = append(sum.TimedOut, TimedOutPoint{Seed: seed, Limit: opt.PointTimeout})
+			fmt.Fprintf(out, "TIMEOUT seed=%d abandoned after %v\n", seed, opt.PointTimeout)
+			continue
 		}
 		sum.Points++
-		var pointFailures int
+		sum.Checks += res.checks
 		for j := range invs {
-			inv := &invs[j]
-			if inv.Applies != nil && !inv.Applies(p) {
-				continue
-			}
-			sum.Checks++
-			sum.Invariants[j].Runs++
-			if err := inv.Check(p); err != nil {
-				sum.Invariants[j].Failures++
-				pointFailures++
-				sum.Failures = append(sum.Failures, Failure{
-					Invariant: inv.Name, Seed: seed, Point: p.String(), Err: err,
-				})
-				fmt.Fprintf(out, "FAIL %-22s %s\n     %v\n", inv.Name, p, err)
-			}
+			sum.Invariants[j].Runs += res.runs[j]
 		}
-		if opt.Verbose && pointFailures == 0 {
-			fmt.Fprintf(out, "ok   %s\n", p)
+		for _, f := range res.failures {
+			sum.Invariants[f.invIndex].Failures++
+			sum.Failures = append(sum.Failures, f.Failure)
+			fmt.Fprintf(out, "FAIL %-22s %s\n     %v\n", f.Invariant, f.Point, f.Err)
+		}
+		if opt.Verbose && len(res.failures) == 0 {
+			fmt.Fprintf(out, "ok   %s\n", res.point)
 		}
 	}
 	return sum, nil
+}
+
+// pointResult is one point's completed outcome, assembled off to the
+// side so a timed-out point can be discarded wholesale without having
+// touched the shared summary.
+type pointResult struct {
+	point    string
+	checks   int
+	runs     []int // per-invariant applicable-run counts
+	failures []indexedFailure
+}
+
+type indexedFailure struct {
+	Failure
+	invIndex int
+}
+
+// runPoint builds the seed's point and runs every applicable invariant.
+func runPoint(seed uint64, invs []Invariant) (*pointResult, error) {
+	p, err := NewPoint(seed)
+	if err != nil {
+		return nil, fmt.Errorf("check: building point for seed %d: %w", seed, err)
+	}
+	res := &pointResult{point: p.String(), runs: make([]int, len(invs))}
+	for j := range invs {
+		inv := &invs[j]
+		if inv.Applies != nil && !inv.Applies(p) {
+			continue
+		}
+		res.checks++
+		res.runs[j]++
+		if err := inv.Check(p); err != nil {
+			res.failures = append(res.failures, indexedFailure{
+				Failure:  Failure{Invariant: inv.Name, Seed: seed, Point: p.String(), Err: err},
+				invIndex: j,
+			})
+		}
+	}
+	return res, nil
+}
+
+// runPointWithTimeout runs the point under a wall-clock limit. A nil,
+// nil return means the limit expired: the point's goroutine is left
+// running (a wedged simulation cannot be cancelled from outside; the
+// leak is bounded by one goroutine per timed-out point) and delivers
+// its eventual result into a buffered channel nobody reads.
+func runPointWithTimeout(seed uint64, invs []Invariant, limit time.Duration) (*pointResult, error) {
+	if limit <= 0 {
+		return runPoint(seed, invs)
+	}
+	type outcome struct {
+		res *pointResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := runPoint(seed, invs)
+		ch <- outcome{r, err}
+	}()
+	timer := time.NewTimer(limit)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		return nil, nil
+	}
 }
 
 // WriteReport renders the per-invariant table and verdict.
@@ -119,7 +207,15 @@ func (s *Summary) WriteReport(w io.Writer) {
 	for _, inv := range s.Invariants {
 		fmt.Fprintf(w, "%-22s %5d %5d  %s\n", inv.Name, inv.Runs, inv.Failures, inv.Tolerance)
 	}
+	for _, to := range s.TimedOut {
+		fmt.Fprintf(w, "TIMEOUT: seed %d abandoned after %v; reproduce with -seed %d -points 1\n",
+			to.Seed, to.Limit, to.Seed)
+	}
 	if s.OK() {
+		if !s.Complete() {
+			fmt.Fprintf(w, "PASS (incomplete): no violations, but %d point(s) timed out\n", len(s.TimedOut))
+			return
+		}
 		fmt.Fprintln(w, "PASS: every invariant held at every point")
 		return
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/device/dram"
 	"repro/internal/device/rram"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/units"
@@ -78,6 +79,13 @@ type Config struct {
 	// role is treated as non-volatile for power gating.
 	CustomEdgeDevice device.Memory
 
+	// Fault configures the edge-memory fault-injection and resilience
+	// layer: seeded read-disturb/stuck-at/bank-failure injection, SECDED
+	// ECC priced into every edge access, spare-bank remapping. The zero
+	// value disables the layer entirely; a disabled-fault simulation is
+	// bit-identical to one predating the layer (golden-tested).
+	Fault fault.Config
+
 	// Parallelism bounds the host CPU workers a single run may use for
 	// its own internal work: the parallel grid build and the
 	// block-parallel functional execution. It is a host-resource knob,
@@ -128,6 +136,9 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: negative parallelism %d", c.Parallelism)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

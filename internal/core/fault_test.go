@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// faultedHyVE is HyVEOpt with the given fault layer settings — gating on,
+// so the tests cover the fault × gating interaction paths.
+func faultedHyVE(fc fault.Config) Config {
+	cfg := HyVEOpt()
+	cfg.Fault = fc
+	return cfg
+}
+
+func TestFaultStatsPopulated(t *testing.T) {
+	w := testWorkload(t, "PR")
+	r := simulate(t, faultedHyVE(fault.Config{
+		Enabled: true, Seed: 42, RawBER: 1e-5, StuckBitRate: 1e-7, ECC: fault.ECCSECDED,
+	}), w)
+	s := r.Detail.Fault
+	if s.LinesRead == 0 || s.Injected == 0 {
+		t.Fatalf("nothing injected: %+v", s)
+	}
+	if s.Detected != s.Corrected+s.Uncorrectable {
+		t.Errorf("detected %d ≠ corrected %d + uncorrectable %d", s.Detected, s.Corrected, s.Uncorrectable)
+	}
+}
+
+func TestFaultAbortOnUncorrectable(t *testing.T) {
+	w := testWorkload(t, "PR")
+	fc := fault.Config{Enabled: true, Seed: 42, RawBER: 5e-4, ECC: fault.ECCSECDED}
+	r := simulate(t, faultedHyVE(fc), w)
+	if r.Detail.Fault.Uncorrectable == 0 {
+		t.Skip("seed produced no double-bit word at this BER; abort path not reachable")
+	}
+	fc.AbortOnUncorrectable = true
+	_, err := Simulate(faultedHyVE(fc), w)
+	if !errors.Is(err, fault.ErrUncorrectable) {
+		t.Fatalf("err = %v, want wrapped fault.ErrUncorrectable", err)
+	}
+}
+
+func TestFaultBankSparing(t *testing.T) {
+	w := testWorkload(t, "PR")
+
+	// Enough spares: every victim is absorbed and the run completes.
+	// (The test graph's edge stream fits in a single bank, so at most
+	// one distinct victim exists regardless of FailedBanks.)
+	r := simulate(t, faultedHyVE(fault.Config{
+		Enabled: true, Seed: 7, FailedBanks: 1, SpareBanks: 2,
+	}), w)
+	s := r.Detail.Fault
+	if s.BanksFailed != 1 || s.BanksRemapped != 1 {
+		t.Fatalf("failed %d remapped %d, want 1 and 1", s.BanksFailed, s.BanksRemapped)
+	}
+
+	// Spare pool too small: the run must refuse to pretend the edges
+	// survived.
+	_, err := Simulate(faultedHyVE(fault.Config{
+		Enabled: true, Seed: 7, FailedBanks: 1, SpareBanks: 0,
+	}), w)
+	if !errors.Is(err, fault.ErrBankLoss) {
+		t.Fatalf("err = %v, want wrapped fault.ErrBankLoss", err)
+	}
+}
+
+// TestFaultRemapGateInvariant pins the fault × gating interaction: a run
+// whose failed banks were absorbed by spares reports exactly the gating
+// statistics of the fault-free run, because the spare inherits the
+// victim's gate schedule rather than creating new wake/sleep activity.
+func TestFaultRemapGateInvariant(t *testing.T) {
+	w := testWorkload(t, "PR")
+	clean := simulate(t, HyVEOpt(), w)
+	remapped := simulate(t, faultedHyVE(fault.Config{
+		Enabled: true, Seed: 9, FailedBanks: 2, SpareBanks: 2,
+	}), w)
+	if remapped.Detail.Gate != clean.Detail.Gate {
+		t.Errorf("gating stats changed under remap:\nclean   %+v\nremapped %+v",
+			clean.Detail.Gate, remapped.Detail.Gate)
+	}
+	if remapped.Report.Time != clean.Report.Time {
+		t.Errorf("pure bank remap changed run time: %v vs %v", remapped.Report.Time, clean.Report.Time)
+	}
+}
+
+func TestFaultCorrectionPricedIn(t *testing.T) {
+	w := testWorkload(t, "PR")
+	eccOnly := simulate(t, faultedHyVE(fault.Config{
+		Enabled: true, Seed: 5, ECC: fault.ECCSECDED,
+	}), w)
+	faulted := simulate(t, faultedHyVE(fault.Config{
+		Enabled: true, Seed: 5, RawBER: 1e-5, ECC: fault.ECCSECDED,
+	}), w)
+	if faulted.Detail.Fault.Corrected == 0 {
+		t.Fatalf("no corrections at BER 1e-5: %+v", faulted.Detail.Fault)
+	}
+	if faulted.Report.Time <= eccOnly.Report.Time {
+		t.Errorf("corrections added no time: %v vs %v", faulted.Report.Time, eccOnly.Report.Time)
+	}
+	if faulted.Report.Energy.Total() <= eccOnly.Report.Energy.Total() {
+		t.Errorf("corrections added no energy: %v vs %v",
+			faulted.Report.Energy.Total(), eccOnly.Report.Energy.Total())
+	}
+}
+
+// TestFaultDeterministicAcrossParallelism: the injected outcome derives
+// only from the configuration, so the host-parallelism knob must not
+// move a single bit of it.
+func TestFaultDeterministicAcrossParallelism(t *testing.T) {
+	w := testWorkload(t, "PR")
+	fc := fault.Config{Enabled: true, Seed: 31, RawBER: 1e-5, StuckBitRate: 1e-7,
+		FailedBanks: 1, SpareBanks: 2, ECC: fault.ECCSECDED}
+	cfg1 := faultedHyVE(fc)
+	cfg1.Parallelism = 1
+	cfg8 := faultedHyVE(fc)
+	cfg8.Parallelism = 8
+	a := simulate(t, cfg1, w)
+	b := simulate(t, cfg8, w)
+	if a.Report != b.Report {
+		t.Error("report differs across Parallelism")
+	}
+	if a.Detail != b.Detail {
+		t.Errorf("detail differs across Parallelism:\n%+v\n%+v", a.Detail, b.Detail)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/device/rram"
 	"repro/internal/device/sram"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/mem"
 	"repro/internal/partition"
@@ -98,6 +99,10 @@ type Detail struct {
 
 	// Gating outcome over the whole run (zero value when disabled).
 	Gate mem.GateStats
+
+	// Fault is the injected-error outcome over the whole run (zero value
+	// when the fault layer is disabled).
+	Fault fault.Stats
 }
 
 // IterTime is the per-iteration wall time.
@@ -178,6 +183,7 @@ type machine struct {
 	grid       *partition.Grid
 	valueBytes int
 	words      int // 32-bit words per vertex value
+	edgeBanks  int // banks across the edge region (all chips)
 }
 
 func newSim(cfg Config, w Workload) (*machine, error) {
@@ -203,6 +209,13 @@ func newSim(cfg Config, w Workload) (*machine, error) {
 	if cfg.CustomEdgeDevice != nil {
 		s.edgeDev = cfg.CustomEdgeDevice
 	}
+	if cfg.Fault.Enabled {
+		// Price the ECC into every edge access before the region is
+		// sized: the check cells occupy real array capacity, the decode
+		// tree adds per-line latency and energy. With ECCNone the wrap
+		// is the identity, so a code-free fault config changes nothing.
+		s.edgeDev = fault.Wrap(s.edgeDev, cfg.Fault.ECCParams())
+	}
 	s.vtxDev = pick(cfg.VertexMemory)
 
 	// Regions sized for the full-scale workload (§3.4 layout: blocks and
@@ -219,6 +232,14 @@ func newSim(cfg Config, w Workload) (*machine, error) {
 	if s.edgeReg, err = mem.NewRankedRegion("edge", s.edgeDev, edgeBytes, 8); err != nil {
 		return nil, err
 	}
+	// Edge bank geometry, used by power gating and fault injection: the
+	// ReRAM chip's own bank count, or 8 banks per chip for a custom NVM
+	// device (banked organization is the commodity norm, §3.1).
+	banksPerChip := rchip.NumBanks()
+	if cfg.CustomEdgeDevice != nil {
+		banksPerChip = 8
+	}
+	s.edgeBanks = banksPerChip * s.edgeReg.Chips
 	if s.vtxReg, err = mem.NewRegion("vertex", s.vtxDev, w.fullVertices()*int64(s.valueBytes)); err != nil {
 		return nil, err
 	}
@@ -250,20 +271,16 @@ func newSim(cfg Config, w Workload) (*machine, error) {
 	}
 
 	if cfg.PowerGating {
-		// Bank geometry for gating: the ReRAM chip's when it is the edge
-		// device; a custom NVM device is treated as 8 banks per chip with
-		// its background split pro rata (banked organization is the
-		// commodity norm, §3.1).
+		// Leakage split for gating: the ReRAM chip's calibrated values
+		// when it is the edge device; a custom NVM device has its
+		// background split pro rata across its banks.
 		bankLeak := rchip.BankLeakage()
 		ioLeak := rchip.IOLeakage()
-		banksPerChip := rchip.NumBanks()
 		if cfg.CustomEdgeDevice != nil {
-			banksPerChip = 8
 			bankLeak = units.Power(float64(s.edgeDev.Background()) * 0.8 / float64(banksPerChip))
 			ioLeak = units.Power(float64(s.edgeDev.Background()) * 0.2)
 		}
-		totalBanks := banksPerChip * s.edgeReg.Chips
-		s.gate, err = mem.NewGatedBanks(cfg.Gate, bankLeak, totalBanks,
+		s.gate, err = mem.NewGatedBanks(cfg.Gate, bankLeak, s.edgeBanks,
 			units.Power(float64(ioLeak)*float64(s.edgeReg.Chips)))
 		if err != nil {
 			return nil, err
@@ -440,9 +457,7 @@ func (s *machine) run() (*Result, error) {
 
 	// Edge memory background: gated (streaming windows only) or full.
 	if s.gate != nil {
-		edgeBytesUsed := s.w.fullEdges() * graph.EdgeBytes
-		bankBytes := s.edgeDev.CapacityBytes() / int64(s.gate.TotalBanks/s.edgeReg.Chips)
-		banksTouched := int((edgeBytesUsed + bankBytes - 1) / bankBytes)
+		banksTouched := s.banksTouched()
 		for it := 0; it < iters; it++ {
 			ge, penalty := s.gate.Streaming(detail.ProcessTime, banksTouched)
 			bd.Add(energy.EdgeMemory, ge)
@@ -452,6 +467,12 @@ func (s *machine) run() (*Result, error) {
 		detail.Gate = s.gate.Stats()
 	} else {
 		bd.Add(energy.EdgeMemory, s.edgeReg.Background().Over(totalTime))
+	}
+
+	if s.cfg.Fault.Enabled {
+		if err := s.injectFaults(&bd, &totalTime, &detail, iters); err != nil {
+			return nil, err
+		}
 	}
 
 	rep := energy.Report{
@@ -465,6 +486,69 @@ func (s *machine) run() (*Result, error) {
 	}
 	s.report(&rep, &detail)
 	return &Result{Report: rep, Detail: detail}, nil
+}
+
+// banksTouched returns how many edge banks the streamed edge data
+// occupies: the stream fills banks sequentially from bank 0 (§3.4
+// layout), so the footprint is a prefix of the bank space.
+func (s *machine) banksTouched() int {
+	edgeBytesUsed := s.w.fullEdges() * graph.EdgeBytes
+	bankBytes := s.edgeDev.CapacityBytes() / int64(s.edgeBanks/s.edgeReg.Chips)
+	return int((edgeBytesUsed + bankBytes - 1) / bankBytes)
+}
+
+// injectFaults runs the seeded error processes over the finished run's
+// edge-stream footprint and prices the resilience machinery into it:
+// every corrected word pays the ECC shift-and-flip, whole-bank hard
+// failures consume spares one-for-one (the spare inherits the victim's
+// gate schedule — mem.BankRemap — so gating statistics are invariant),
+// and the run aborts with ErrBankLoss / ErrUncorrectable when the
+// damage exceeds what the configured resilience can absorb.
+func (s *machine) injectFaults(bd *energy.Breakdown, totalTime *units.Time, d *Detail, iters int) error {
+	inj, err := fault.NewInjector(s.cfg.Fault)
+	if err != nil {
+		return err
+	}
+	lineBytes := s.edgeReg.LineBytes()
+	linesPerIter := (d.EdgeBytes + int64(lineBytes) - 1) / int64(lineBytes)
+	stats, err := inj.Sweep(linesPerIter, lineBytes, iters)
+	if err != nil {
+		return err
+	}
+
+	// Whole-bank hard failures among the banks the stream occupies.
+	touched := s.banksTouched()
+	if touched > s.edgeBanks {
+		touched = s.edgeBanks
+	}
+	if victims := inj.Victims(touched); len(victims) > 0 {
+		remap, err := mem.NewBankRemap(s.edgeBanks, s.cfg.Fault.SpareBanks)
+		if err != nil {
+			return err
+		}
+		stats.BanksFailed = int64(len(victims))
+		for _, b := range victims {
+			if _, err := remap.Fail(b); err != nil {
+				stats.BanksRemapped = int64(remap.Remapped())
+				d.Fault = stats
+				return fmt.Errorf("core: %w: %v", fault.ErrBankLoss, err)
+			}
+		}
+		stats.BanksRemapped = int64(remap.Remapped())
+		// The spares replay the victims' gate windows verbatim, so
+		// Detail.Gate needs no adjustment — remapping is gate-invariant.
+	}
+
+	ecc := inj.ECC()
+	if stats.Corrected > 0 {
+		*totalTime += ecc.CorrectLatency.Times(float64(stats.Corrected))
+		bd.Add(energy.EdgeMemory, ecc.CorrectEnergy.Times(float64(stats.Corrected)))
+	}
+	d.Fault = stats
+	if s.cfg.Fault.AbortOnUncorrectable && stats.Uncorrectable > 0 {
+		return fmt.Errorf("core: %d words: %w", stats.Uncorrectable, fault.ErrUncorrectable)
+	}
+	return nil
 }
 
 // report publishes the finished run as first-class named metrics: the
@@ -496,6 +580,14 @@ func (s *machine) report(rep *energy.Report, d *Detail) {
 		rec.Count("sim.gate.transitions", d.Gate.Transitions)
 		rec.PhaseTime("sim.gate.awake-bank", d.Gate.AwakeBankTime)
 		rec.PhaseEnergy("sim.gate.saved", d.Gate.UngatedEnergy-d.Gate.GatedEnergy)
+	}
+	if s.cfg.Fault.Enabled {
+		rec.Count("fault.injected", d.Fault.Injected)
+		rec.Count("fault.corrected", d.Fault.Corrected)
+		rec.Count("fault.detected", d.Fault.Detected)
+		rec.Count("fault.uncorrectable", d.Fault.Uncorrectable)
+		rec.Count("fault.silent", d.Fault.Silent)
+		rec.Count("mem.banks_remapped", d.Fault.BanksRemapped)
 	}
 }
 

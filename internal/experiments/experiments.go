@@ -154,6 +154,7 @@ var registry = []Experiment{
 	{"ablation-model", "Edge-centric vs vertex-centric locality (extension)", runAblationModel, false},
 	{"ablation-precision", "Crossbar compute precision (extension)", runAblationPrecision, false},
 	{"ablation-topology", "Topology sensitivity (extension)", runAblationTopology, false},
+	{"reliability", "ReRAM faults: SECDED ECC and bank sparing (extension)", runReliability, false},
 }
 
 // All returns every experiment in paper order.

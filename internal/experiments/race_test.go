@@ -161,7 +161,7 @@ func TestConcurrentRunParallel(t *testing.T) {
 // deterministic (non-Measured) experiments, a serial run and an
 // 8-worker run must emit byte-identical artifacts.
 func TestParallelOutputGolden(t *testing.T) {
-	ids := []string{"table1", "table4", "fig14", "fig16", "fig21", "ablation-nvm"}
+	ids := []string{"table1", "table4", "fig14", "fig16", "fig21", "ablation-nvm", "reliability"}
 	for _, id := range ids {
 		e, err := ByID(id)
 		if err != nil {

@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// ECCKind selects the error-correcting code on the edge stream.
+type ECCKind int
+
+// ECC kinds.
+const (
+	// ECCNone stores raw data: every injected error is silent.
+	ECCNone ECCKind = iota
+	// ECCSECDED protects each WordBits-wide word with a Hamming code
+	// plus overall parity: single-bit errors are corrected, double-bit
+	// errors are detected, three or more bits may alias silently.
+	ECCSECDED
+)
+
+func (k ECCKind) String() string {
+	switch k {
+	case ECCNone:
+		return "none"
+	case ECCSECDED:
+		return "secded"
+	default:
+		return fmt.Sprintf("ECCKind(%d)", int(k))
+	}
+}
+
+// DefaultWordBits is the codeword data width of the classic SECDED
+// (72,64) geometry commodity ECC DIMMs use.
+const DefaultWordBits = 64
+
+// CheckBits returns the SECDED check-bit count for a data width: the
+// smallest r with 2^r ≥ dataBits + r + 1, plus the overall parity bit.
+func CheckBits(dataBits int) int {
+	r := 1
+	for (1 << r) < dataBits+r+1 {
+		r++
+	}
+	return r + 1
+}
+
+// ECCParams price the code: the storage overhead is CheckBits extra
+// cells sensed per word, the syndrome computation adds per-line decode
+// latency and energy, and each correction pays an extra shift-and-flip.
+// The operating points are XOR-tree scale estimates at the paper's
+// 22 nm node, small against the ReRAM array access they ride on
+// (~2 ns / ~100 pJ per 512-bit line, Table 3).
+type ECCParams struct {
+	Kind      ECCKind
+	WordBits  int
+	CheckBits int
+	// DecodeLatency/DecodeEnergy are charged once per line read (the
+	// syndrome trees for all words of the line operate in parallel).
+	DecodeLatency units.Time
+	DecodeEnergy  units.Energy
+	// CorrectLatency/CorrectEnergy are charged per corrected word.
+	CorrectLatency units.Time
+	CorrectEnergy  units.Energy
+}
+
+// SECDED returns the default SECDED operating point for a data width.
+func SECDED(wordBits int) ECCParams {
+	if wordBits <= 0 {
+		wordBits = DefaultWordBits
+	}
+	return ECCParams{
+		Kind:           ECCSECDED,
+		WordBits:       wordBits,
+		CheckBits:      CheckBits(wordBits),
+		DecodeLatency:  150 * units.Picosecond,
+		DecodeEnergy:   1 * units.Picojoule,
+		CorrectLatency: 500 * units.Picosecond,
+		CorrectEnergy:  2 * units.Picojoule,
+	}
+}
+
+// ECCParams resolves the configuration's code into its operating point.
+func (c Config) ECCParams() ECCParams {
+	if !c.Enabled || c.ECC == ECCNone {
+		return ECCParams{Kind: ECCNone, WordBits: c.wordBits()}
+	}
+	return SECDED(c.wordBits())
+}
+
+// overhead is the storage/sensing overhead factor: code bits per data bit.
+func (p ECCParams) overhead() float64 {
+	if p.Kind == ECCNone || p.WordBits <= 0 {
+		return 1
+	}
+	return float64(p.WordBits+p.CheckBits) / float64(p.WordBits)
+}
+
+// Apply prices the code into one per-line access cost: the extra check
+// cells are sensed (energy scales with the overhead factor) and the
+// syndrome decode is sequenced after the array delivers.
+func (p ECCParams) Apply(c device.Cost) device.Cost {
+	if p.Kind == ECCNone {
+		return c
+	}
+	return device.Cost{
+		Latency: c.Latency + p.DecodeLatency,
+		Energy:  c.Energy.Times(p.overhead()) + p.DecodeEnergy,
+	}
+}
+
+// classify maps a word's erroneous-bit count onto the ECC outcome.
+func (p ECCParams) classify(bits int64, s *Stats) {
+	if bits <= 0 {
+		return
+	}
+	if p.Kind == ECCNone {
+		s.Silent++
+		return
+	}
+	switch bits {
+	case 1:
+		s.Corrected++
+		s.Detected++
+	case 2:
+		s.Uncorrectable++
+		s.Detected++
+	default:
+		// Three or more flipped bits can alias onto a valid or
+		// single-error syndrome; count the word silent — the bound a
+		// reliability analysis must price, not the optimistic case.
+		s.Silent++
+	}
+}
+
+// eccMemory wraps a device.Memory with the code priced into every
+// access. Capacity shrinks by the overhead factor: the check cells
+// occupy real array space.
+type eccMemory struct {
+	dev device.Memory
+	p   ECCParams
+}
+
+// Wrap prices p into dev. With ECCNone the device is returned unchanged,
+// so a disabled code is exactly free.
+func Wrap(dev device.Memory, p ECCParams) device.Memory {
+	if p.Kind == ECCNone {
+		return dev
+	}
+	return &eccMemory{dev: dev, p: p}
+}
+
+// Name implements device.Memory.
+func (m *eccMemory) Name() string {
+	return fmt.Sprintf("%s+secded%d", m.dev.Name(), m.p.WordBits+m.p.CheckBits)
+}
+
+// LineBytes implements device.Memory: the data line the consumer sees is
+// unchanged; the check cells ride in spare columns.
+func (m *eccMemory) LineBytes() int { return m.dev.LineBytes() }
+
+// CapacityBytes implements device.Memory.
+func (m *eccMemory) CapacityBytes() int64 {
+	return int64(float64(m.dev.CapacityBytes()) / m.p.overhead())
+}
+
+// Read implements device.Memory.
+func (m *eccMemory) Read(sequential bool) device.Cost {
+	return m.p.Apply(m.dev.Read(sequential))
+}
+
+// Write implements device.Memory: encoding mirrors the decode tree.
+func (m *eccMemory) Write(sequential bool) device.Cost {
+	return m.p.Apply(m.dev.Write(sequential))
+}
+
+// Background implements device.Memory.
+func (m *eccMemory) Background() units.Power { return m.dev.Background() }
+
+var _ device.Memory = (*eccMemory)(nil)

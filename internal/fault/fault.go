@@ -1,0 +1,143 @@
+// Package fault is the resilience layer of the simulator stack: a
+// deterministic, seeded fault-injection framework for the ReRAM edge
+// memory (read-disturb bit flips, stuck-at cells, whole-bank failures),
+// a SECDED ECC model whose correction and detection are priced into the
+// per-access cost the simulators charge, and graceful degradation via
+// spare-bank remapping (internal/mem.BankRemap).
+//
+// Every outcome derives only from the configuration — seed, rates, and
+// the streamed geometry — never from wall-clock, map order, or worker
+// count: the same seed produces the same flip positions, the same
+// corrected/uncorrectable counts, and therefore the same artifact bytes
+// at any parallelism. The framework doubles as the test bed for the
+// harness-hardening work (panic isolation in internal/parallel, point
+// timeouts in internal/check, crash-safe artifact writes in
+// internal/obs): faults injected here must degrade every layer above
+// gracefully, never corrupt it.
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config selects what is injected into the edge-memory stream. The zero
+// value is "no faults": every rate zero, ECC off, nothing priced — a
+// simulation with the zero Config is bit-identical to one without the
+// fault layer at all (golden-tested).
+type Config struct {
+	// Enabled turns the fault layer on. With it false every other field
+	// is ignored and the simulator takes its pre-fault paths untouched.
+	Enabled bool
+	// Seed drives every random draw. Same seed ⇒ same flip positions,
+	// same victim banks, same counts — at any worker count.
+	Seed uint64
+	// RawBER is the raw per-bit read-disturb probability: each code bit
+	// of each line read flips independently with this probability.
+	RawBER float64
+	// StuckBitRate is the fraction of array cell positions stuck at a
+	// value that disagrees with the stored data: every read of a line
+	// holding a stuck cell sees that bit in error (the pessimistic,
+	// deterministic reading of a stuck-at fault).
+	StuckBitRate float64
+	// FailedBanks is the number of whole-bank hard failures present at
+	// run start among the banks the edge stream touches. Each victim is
+	// remapped onto a spare bank; with the spare pool exhausted the run
+	// aborts with ErrBankLoss (stored edges are gone).
+	FailedBanks int
+	// SpareBanks is the size of the spare-bank pool available for
+	// remapping (§graceful degradation). A remapped bank inherits the
+	// victim's gate schedule, so bank-level power gating statistics are
+	// invariant under remapping.
+	SpareBanks int
+	// ECC selects the per-word error-correcting code on the edge
+	// stream. ECCNone leaves every injected error a silent corruption.
+	ECC ECCKind
+	// WordBits is the ECC codeword data width (default 64, giving the
+	// classic SECDED (72,64) geometry).
+	WordBits int
+	// AbortOnUncorrectable makes the simulator return ErrUncorrectable
+	// when a detected-uncorrectable word is encountered, instead of
+	// completing the run with the count recorded.
+	AbortOnUncorrectable bool
+}
+
+// Validate rejects non-physical configurations.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.RawBER < 0 || c.RawBER >= 1 {
+		return fmt.Errorf("fault: raw BER %v outside [0, 1)", c.RawBER)
+	}
+	if c.StuckBitRate < 0 || c.StuckBitRate >= 1 {
+		return fmt.Errorf("fault: stuck-bit rate %v outside [0, 1)", c.StuckBitRate)
+	}
+	if c.FailedBanks < 0 || c.SpareBanks < 0 {
+		return fmt.Errorf("fault: negative bank counts (failed %d, spare %d)", c.FailedBanks, c.SpareBanks)
+	}
+	if c.WordBits < 0 {
+		return fmt.Errorf("fault: negative ECC word width %d", c.WordBits)
+	}
+	if c.WordBits != 0 && c.WordBits%8 != 0 {
+		return fmt.Errorf("fault: ECC word width %d not a multiple of 8", c.WordBits)
+	}
+	switch c.ECC {
+	case ECCNone, ECCSECDED:
+	default:
+		return fmt.Errorf("fault: unknown ECC kind %d", int(c.ECC))
+	}
+	return nil
+}
+
+// wordBits resolves the codeword data width.
+func (c Config) wordBits() int {
+	if c.WordBits > 0 {
+		return c.WordBits
+	}
+	return DefaultWordBits
+}
+
+// Stats is the outcome of one injected run. All counts are exact for
+// the seed, not expectations.
+type Stats struct {
+	// LinesRead is the number of line reads scanned (per-iteration lines
+	// × iterations).
+	LinesRead int64
+	// Injected is the total erroneous bits observed across all reads:
+	// read-disturb flips plus stuck-cell disagreements.
+	Injected int64
+	// Flipped counts read-disturb flip events; Stuck counts distinct
+	// stuck cells inside the streamed footprint (each contributes one
+	// erroneous bit per iteration).
+	Flipped int64
+	Stuck   int64
+	// Corrected is the number of words the ECC corrected (single-bit).
+	Corrected int64
+	// Detected is the number of words where the ECC saw an error at all
+	// (corrected + uncorrectable).
+	Detected int64
+	// Uncorrectable is the number of detected-but-uncorrectable words
+	// (double-bit under SECDED).
+	Uncorrectable int64
+	// Silent is the number of corrupted words no ECC flagged: every
+	// errored word under ECCNone, and ≥3-bit words under SECDED (aliasing
+	// is counted as silent — the pessimistic bound).
+	Silent int64
+	// BanksFailed and BanksRemapped record the hard-failure outcome.
+	BanksFailed   int64
+	BanksRemapped int64
+	// WordDigest is an order-independent hash of every (word index,
+	// error count) pair — two runs with identical flip positions have
+	// identical digests, which is how the determinism tests pin
+	// "identical positions", not just identical counts.
+	WordDigest uint64
+}
+
+// ErrUncorrectable is returned (wrapped) by simulations configured to
+// abort when a detected-uncorrectable word is encountered.
+var ErrUncorrectable = errors.New("fault: uncorrectable edge-memory error")
+
+// ErrBankLoss is returned (wrapped) when more banks fail than the spare
+// pool can absorb: the edges stored there are unrecoverable.
+var ErrBankLoss = errors.New("fault: bank failure with spare pool exhausted")

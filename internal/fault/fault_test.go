@@ -1,0 +1,254 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+func TestCheckBits(t *testing.T) {
+	// Hamming + overall parity: the classic geometries.
+	for _, tc := range []struct{ data, want int }{
+		{8, 5}, {16, 6}, {32, 7}, {64, 8}, {128, 9},
+	} {
+		if got := CheckBits(tc.data); got != tc.want {
+			t.Errorf("CheckBits(%d) = %d, want %d", tc.data, got, tc.want)
+		}
+	}
+}
+
+// TestClassifyBoundary pins the SECDED decision boundary: exactly one
+// bad bit corrects, exactly two detect without correcting, three or
+// more are counted silent (the pessimistic aliasing bound), and with no
+// code at all every errored word is silent.
+func TestClassifyBoundary(t *testing.T) {
+	secded := SECDED(64)
+	var s Stats
+	secded.classify(1, &s)
+	if s.Corrected != 1 || s.Detected != 1 || s.Uncorrectable != 0 || s.Silent != 0 {
+		t.Errorf("1-bit: %+v", s)
+	}
+	s = Stats{}
+	secded.classify(2, &s)
+	if s.Corrected != 0 || s.Detected != 1 || s.Uncorrectable != 1 || s.Silent != 0 {
+		t.Errorf("2-bit: %+v", s)
+	}
+	for _, bits := range []int64{3, 4, 17} {
+		s = Stats{}
+		secded.classify(bits, &s)
+		if s.Corrected != 0 || s.Detected != 0 || s.Uncorrectable != 0 || s.Silent != 1 {
+			t.Errorf("%d-bit: %+v", bits, s)
+		}
+	}
+	none := ECCParams{Kind: ECCNone, WordBits: 64}
+	for _, bits := range []int64{1, 2, 5} {
+		s = Stats{}
+		none.classify(bits, &s)
+		if s.Silent != 1 || s.Detected != 0 {
+			t.Errorf("ECCNone %d-bit: %+v", bits, s)
+		}
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 99, RawBER: 1e-4, StuckBitRate: 1e-5, ECC: ECCSECDED}
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := in.Sweep(5000, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, _ := NewInjector(cfg)
+	b, err := in2.Sweep(5000, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same config, different stats:\n%+v\n%+v", a, b)
+	}
+	if a.Injected == 0 || a.WordDigest == 0 {
+		t.Fatalf("sweep at BER 1e-4 injected nothing: %+v", a)
+	}
+	cfg.Seed = 100
+	in3, _ := NewInjector(cfg)
+	c, err := in3.Sweep(5000, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WordDigest == a.WordDigest {
+		t.Error("different seeds produced identical flip-position digests")
+	}
+}
+
+// TestSweepFlipCountTracksBER holds the exact sampler to its law: the
+// realized flip count over a known bit space must sit near expectation
+// (it is a true Bernoulli process, so 6 sigma bounds it generously).
+func TestSweepFlipCountTracksBER(t *testing.T) {
+	const (
+		lines, lineBytes, iters = 10000, 64, 4
+		ber                     = 1e-3
+	)
+	cfg := Config{Enabled: true, Seed: 7, RawBER: ber, ECC: ECCSECDED}
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := in.Sweep(lines, lineBytes, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordsPerLine := (lineBytes*8 + 63) / 64
+	codeBits := 64 + CheckBits(64)
+	n := float64(lines) * float64(wordsPerLine) * float64(codeBits) * iters
+	mean := n * ber
+	sigma := math.Sqrt(n * ber * (1 - ber))
+	if diff := math.Abs(float64(s.Flipped) - mean); diff > 6*sigma {
+		t.Errorf("flips %d vs expectation %.0f (±%.0f): off by %.1f sigma",
+			s.Flipped, mean, sigma, diff/sigma)
+	}
+	if s.LinesRead != lines*iters {
+		t.Errorf("LinesRead = %d, want %d", s.LinesRead, lines*iters)
+	}
+}
+
+func TestSweepStuckCellsRepeatPerIteration(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 3, StuckBitRate: 1e-4, ECC: ECCSECDED}
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := in.Sweep(2000, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := in.Sweep(2000, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Stuck == 0 {
+		t.Fatal("no stuck cells sampled at rate 1e-4")
+	}
+	if four.Stuck != one.Stuck {
+		t.Errorf("stuck cell population changed with iteration count: %d vs %d", four.Stuck, one.Stuck)
+	}
+	if four.Injected != 4*one.Injected {
+		t.Errorf("stuck cells must be re-observed every iteration: %d vs 4×%d", four.Injected, one.Injected)
+	}
+}
+
+func TestSweepZeroConfig(t *testing.T) {
+	in, err := NewInjector(Config{Enabled: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := in.Sweep(1000, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Injected != 0 || s.WordDigest != 0 || s.LinesRead != 2000 {
+		t.Errorf("zero-rate sweep: %+v", s)
+	}
+}
+
+func TestVictimsDeterministicAndDistinct(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 11, FailedBanks: 5}
+	in, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := in.Victims(64)
+	b := in.Victims(64)
+	if len(a) != 5 {
+		t.Fatalf("got %d victims, want 5", len(a))
+	}
+	seen := map[int]bool{}
+	for i, v := range a {
+		if v != b[i] {
+			t.Fatalf("victims not deterministic: %v vs %v", a, b)
+		}
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("victim %d out of range or repeated in %v", v, a)
+		}
+		seen[v] = true
+	}
+	if got := in.Victims(3); len(got) != 3 {
+		t.Errorf("more failures than banks must fail every bank: %v", got)
+	}
+	if got := in.Victims(0); got != nil {
+		t.Errorf("no banks touched but victims drawn: %v", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Enabled: true, RawBER: -0.1},
+		{Enabled: true, RawBER: 1},
+		{Enabled: true, StuckBitRate: 2},
+		{Enabled: true, FailedBanks: -1},
+		{Enabled: true, WordBits: 12},
+		{Enabled: true, ECC: ECCKind(9)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d (%+v) validated", i, c)
+		}
+	}
+	if err := (Config{RawBER: -5}).Validate(); err != nil {
+		t.Errorf("disabled config must not be validated: %v", err)
+	}
+	if err := (Config{Enabled: true, RawBER: 1e-3, ECC: ECCSECDED, WordBits: 32}).Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+// flatDev is a minimal fixed-cost device for exercising the ECC wrap.
+type flatDev struct{}
+
+func (flatDev) Name() string            { return "flat" }
+func (flatDev) LineBytes() int          { return 64 }
+func (flatDev) CapacityBytes() int64    { return 1 << 30 }
+func (flatDev) Read(bool) device.Cost   { return device.Cost{Latency: 1000, Energy: 100} }
+func (flatDev) Write(bool) device.Cost  { return device.Cost{Latency: 2000, Energy: 200} }
+func (flatDev) Background() units.Power { return 5 }
+
+func TestWrapPricesTheCode(t *testing.T) {
+	p := SECDED(64)
+	m := Wrap(flatDev{}, p)
+	if m.LineBytes() != 64 {
+		t.Errorf("data line width changed: %d", m.LineBytes())
+	}
+	// (72,64): capacity shrinks by 64/72, reads gain the decode latency,
+	// energy scales by the sensed-cell overhead plus the decode tree.
+	raw := float64(int64(1 << 30))
+	if got, want := m.CapacityBytes(), int64(raw*64.0/72.0); got != want {
+		t.Errorf("capacity = %d, want %d", got, want)
+	}
+	rd := m.Read(true)
+	if rd.Latency != 1000+p.DecodeLatency {
+		t.Errorf("read latency = %v", rd.Latency)
+	}
+	wantE := units.Energy(float64(100)*72.0/64.0) + p.DecodeEnergy
+	if rd.Energy != wantE {
+		t.Errorf("read energy = %v, want %v", rd.Energy, wantE)
+	}
+	if m.Background() != 5 {
+		t.Errorf("background changed: %v", m.Background())
+	}
+	if same := Wrap(flatDev{}, ECCParams{Kind: ECCNone}); same != (flatDev{}) {
+		t.Error("ECCNone wrap is not the identity")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	if !errors.Is(ErrUncorrectable, ErrUncorrectable) || ErrUncorrectable.Error() == "" {
+		t.Error("ErrUncorrectable malformed")
+	}
+	if ErrBankLoss.Error() == "" {
+		t.Error("ErrBankLoss malformed")
+	}
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// Injector samples the configured error processes over a streamed line
+// sequence. Sampling is exact (a true Bernoulli process realized by
+// geometric gap-walking, cost proportional to the number of faults, not
+// the number of bits) and deterministic: every draw comes from a
+// private generator seeded only by Config.Seed, so identical
+// configurations produce identical flip positions regardless of worker
+// count, map iteration, or host.
+type Injector struct {
+	cfg Config
+	ecc ECCParams
+}
+
+// NewInjector validates cfg and builds the sampler.
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, ecc: cfg.ECCParams()}, nil
+}
+
+// ECC returns the injector's resolved code operating point.
+func (in *Injector) ECC() ECCParams { return in.ecc }
+
+// splitmix64 is the avalanche mixer used to derive independent stream
+// seeds from the base seed; each sampling stream (flips, stuck cells,
+// bank victims) gets its own label so adding one never perturbs another.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// prng is the sequential generator behind one sampling stream
+// (xorshift64*, the same core internal/graph.RNG uses).
+type prng struct{ state uint64 }
+
+func newPRNG(seed, label uint64) *prng {
+	s := splitmix64(seed ^ splitmix64(label))
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &prng{state: s}
+}
+
+func (r *prng) uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// float64 returns a uniform value in (0, 1]: the open-at-zero side keeps
+// log(u) finite in the geometric sampler.
+func (r *prng) float64() float64 {
+	return float64(r.uint64()>>11+1) / (1 << 53)
+}
+
+// geometric walks a Bernoulli(p) process over [0, n) bit positions,
+// calling visit for each success. Cost is O(n·p), not O(n).
+func geometric(r *prng, n float64, p float64, visit func(pos uint64)) {
+	if p <= 0 || n <= 0 {
+		return
+	}
+	lq := math.Log1p(-p)
+	pos := 0.0
+	for {
+		// Gap to the next success, inclusive of the current position.
+		gap := math.Floor(math.Log(r.float64()) / lq)
+		pos += gap
+		if pos >= n {
+			return
+		}
+		visit(uint64(pos))
+		pos++
+	}
+}
+
+// Sweep injects the configured error processes into a run that streams
+// linesPerIter lines per iteration for iters iterations, classifying
+// every erroneous word through the configured ECC. The scan is a pure
+// function of (Config, linesPerIter, lineBytes, iters).
+func (in *Injector) Sweep(linesPerIter int64, lineBytes, iters int) (Stats, error) {
+	var s Stats
+	if linesPerIter <= 0 || iters <= 0 {
+		return s, nil
+	}
+	if lineBytes <= 0 {
+		return s, fmt.Errorf("fault: non-positive line width %d bytes", lineBytes)
+	}
+	wordBits := in.ecc.WordBits
+	if wordBits <= 0 {
+		wordBits = DefaultWordBits
+	}
+	wordsPerLine := (lineBytes*8 + wordBits - 1) / wordBits
+	codeBits := wordBits + in.ecc.CheckBits
+	bitsPerWord := float64(codeBits)
+	bitsPerIter := float64(linesPerIter) * float64(wordsPerLine) * bitsPerWord
+	totalBits := bitsPerIter * float64(iters)
+	s.LinesRead = linesPerIter * int64(iters)
+
+	// Erroneous bits per (iteration, line, word) read. Keys are dense
+	// word-read indices; values the number of bad bits that read saw.
+	words := map[uint64]int64{}
+	wordOf := func(bit uint64) uint64 { return bit / uint64(codeBits) }
+
+	// Read-disturb flips: independent per code bit per read, so one
+	// Bernoulli walk over the whole run's read-bit space.
+	flips := newPRNG(in.cfg.Seed, 0xF11B)
+	geometric(flips, totalBits, in.cfg.RawBER, func(bit uint64) {
+		s.Flipped++
+		words[wordOf(bit)]++
+	})
+
+	// Stuck cells: a fixed set of positions in the one-iteration
+	// footprint; every iteration's read of that line re-observes them.
+	stride := uint64(linesPerIter) * uint64(wordsPerLine) * uint64(codeBits)
+	stuck := newPRNG(in.cfg.Seed, 0x57C4)
+	geometric(stuck, bitsPerIter, in.cfg.StuckBitRate, func(bit uint64) {
+		s.Stuck++
+		for it := 0; it < iters; it++ {
+			words[wordOf(bit+uint64(it)*stride)]++
+		}
+	})
+
+	for w, bits := range words {
+		s.Injected += bits
+		in.ecc.classify(bits, &s)
+		// Order-independent position digest: XOR of per-entry mixes.
+		s.WordDigest ^= splitmix64(w*0x9E37 + uint64(bits))
+	}
+	return s, nil
+}
+
+// Victims draws the distinct banks (among the banksTouched banks the
+// stream visits) struck by whole-bank hard failures, deterministically
+// from the seed. When more failures are configured than banks exist,
+// every bank fails.
+func (in *Injector) Victims(banksTouched int) []int {
+	n := in.cfg.FailedBanks
+	if n <= 0 || banksTouched <= 0 {
+		return nil
+	}
+	if n > banksTouched {
+		n = banksTouched
+	}
+	r := newPRNG(in.cfg.Seed, 0xBA4C)
+	// Partial Fisher–Yates over the touched banks.
+	ids := make([]int, banksTouched)
+	for i := range ids {
+		ids[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + int(r.uint64()%uint64(banksTouched-i))
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return ids[:n]
+}

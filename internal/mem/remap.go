@@ -1,0 +1,81 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoSpareBank is returned by Fail when the spare pool is exhausted:
+// the victim bank's data is unrecoverable.
+var ErrNoSpareBank = errors.New("mem: spare-bank pool exhausted")
+
+// BankRemap models graceful degradation of a banked region: a fixed
+// pool of spare banks absorbs whole-bank hard failures one-for-one. A
+// spare takes over the victim's address range *and its gate schedule* —
+// the BPG controller wakes and sleeps the spare exactly when it would
+// have the victim, so gating statistics are invariant under remapping
+// (RemapWindows + ReplayGating pin this in the tests).
+type BankRemap struct {
+	banks   int
+	spares  int
+	mapping map[int]int // victim → spare
+}
+
+// NewBankRemap builds a remapper for a region of banks data banks with
+// spares spare banks reserved after them (ids banks … banks+spares-1).
+func NewBankRemap(banks, spares int) (*BankRemap, error) {
+	if banks <= 0 {
+		return nil, fmt.Errorf("mem: non-positive bank count %d", banks)
+	}
+	if spares < 0 {
+		return nil, fmt.Errorf("mem: negative spare count %d", spares)
+	}
+	return &BankRemap{banks: banks, spares: spares, mapping: map[int]int{}}, nil
+}
+
+// Fail records a whole-bank failure and assigns the next spare. It
+// returns the spare's id, or ErrNoSpareBank when the pool is exhausted.
+// Failing an already-remapped bank means the *spare* died too and needs
+// a fresh spare.
+func (r *BankRemap) Fail(bank int) (int, error) {
+	if bank < 0 || bank >= r.banks+r.spares {
+		return 0, fmt.Errorf("mem: bank %d outside region of %d+%d banks", bank, r.banks, r.spares)
+	}
+	if len(r.mapping) >= r.spares {
+		return 0, fmt.Errorf("mem: bank %d failed: %w (%d spares all in use)", bank, ErrNoSpareBank, r.spares)
+	}
+	spare := r.banks + len(r.mapping)
+	r.mapping[bank] = spare
+	return spare, nil
+}
+
+// Resolve returns the bank currently serving an address originally
+// mapped to bank — the spare if the bank failed, the bank itself
+// otherwise. Chained failures (a spare that later failed) resolve
+// transitively.
+func (r *BankRemap) Resolve(bank int) int {
+	for {
+		spare, ok := r.mapping[bank]
+		if !ok {
+			return bank
+		}
+		bank = spare
+	}
+}
+
+// Remapped returns how many failures have been absorbed.
+func (r *BankRemap) Remapped() int { return len(r.mapping) }
+
+// RemapWindows rewrites bank-activity windows through the remapping:
+// the spare inherits the victim's awake windows verbatim. Because the
+// windows are unchanged except for the bank id, ReplayGating over the
+// remapped set produces identical awake bank-time and transition counts
+// — the "remapped bank inherits the victim's gate schedule" contract.
+func (r *BankRemap) RemapWindows(windows []BankWindow) []BankWindow {
+	out := make([]BankWindow, len(windows))
+	for i, w := range windows {
+		w.Bank = r.Resolve(w.Bank)
+		out[i] = w
+	}
+	return out
+}

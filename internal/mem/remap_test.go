@@ -1,0 +1,121 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestBankRemapAssignsSparesInOrder(t *testing.T) {
+	r, err := NewBankRemap(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Resolve(3); got != 3 {
+		t.Errorf("healthy bank resolves to %d", got)
+	}
+	s1, err := r.Fail(3)
+	if err != nil || s1 != 8 {
+		t.Fatalf("first failure → spare %d, err %v; want 8", s1, err)
+	}
+	s2, err := r.Fail(6)
+	if err != nil || s2 != 9 {
+		t.Fatalf("second failure → spare %d, err %v; want 9", s2, err)
+	}
+	if r.Resolve(3) != 8 || r.Resolve(6) != 9 || r.Resolve(0) != 0 {
+		t.Errorf("resolution wrong: 3→%d 6→%d 0→%d", r.Resolve(3), r.Resolve(6), r.Resolve(0))
+	}
+	if r.Remapped() != 2 {
+		t.Errorf("Remapped() = %d", r.Remapped())
+	}
+	if _, err := r.Fail(1); !errors.Is(err, ErrNoSpareBank) {
+		t.Errorf("exhausted pool: err = %v, want ErrNoSpareBank", err)
+	}
+}
+
+func TestBankRemapChainedFailure(t *testing.T) {
+	r, err := NewBankRemap(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	// The spare (bank 4) dies too; addresses of bank 2 must now resolve
+	// through the chain to the fresh spare.
+	if _, err := r.Fail(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Resolve(2); got != 5 {
+		t.Errorf("chained resolution 2→%d, want 5", got)
+	}
+}
+
+func TestBankRemapRejectsBadGeometry(t *testing.T) {
+	if _, err := NewBankRemap(0, 1); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := NewBankRemap(4, -1); err == nil {
+		t.Error("negative spares accepted")
+	}
+	r, _ := NewBankRemap(4, 1)
+	if _, err := r.Fail(99); err == nil {
+		t.Error("out-of-region bank accepted")
+	}
+}
+
+// TestRemapWindowsGateInvariance is the "spare inherits the victim's
+// gate schedule" contract: replaying the remapped windows through the
+// exact idle-timeout policy yields identical awake bank-time and
+// transition counts, because only bank ids changed — never timing.
+func TestRemapWindowsGateInvariance(t *testing.T) {
+	p := DefaultPowerGateParams()
+	ms := func(x float64) units.Time { return units.Time(x * 1e9) }
+	windows := []BankWindow{
+		{Bank: 0, Start: 0, End: ms(1)},
+		{Bank: 1, Start: ms(0.5), End: ms(2)},
+		{Bank: 1, Start: ms(2.2), End: ms(3)},
+		{Bank: 2, Start: ms(1), End: ms(1.5)},
+		{Bank: 3, Start: ms(4), End: ms(6)},
+	}
+	r, err := NewBankRemap(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fail(3); err != nil {
+		t.Fatal(err)
+	}
+	remapped := r.RemapWindows(windows)
+	for i, w := range remapped {
+		if w.Start != windows[i].Start || w.End != windows[i].End {
+			t.Fatalf("window %d timing changed: %+v vs %+v", i, w, windows[i])
+		}
+	}
+	if remapped[1].Bank != 4 || remapped[2].Bank != 4 || remapped[4].Bank != 5 {
+		t.Fatalf("victim windows not moved to spares: %+v", remapped)
+	}
+	if remapped[0].Bank != 0 || remapped[3].Bank != 2 {
+		t.Fatalf("healthy windows moved: %+v", remapped)
+	}
+
+	awakeA, transA, err := ReplayGating(p, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awakeB, transB, err := ReplayGating(p, remapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awakeA != awakeB || transA != transB {
+		t.Errorf("gating stats not invariant under remap: awake %v vs %v, transitions %d vs %d",
+			awakeA, awakeB, transA, transB)
+	}
+	// The original slice must be untouched (RemapWindows copies).
+	if windows[1].Bank != 1 {
+		t.Error("RemapWindows mutated its input")
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes a file so that a crash at any instant leaves either
+// the complete new content or no file at all — never a truncated
+// document. The content is produced into a hidden temp file in the
+// destination directory (same filesystem, so the final step is a true
+// rename), synced to stable storage, and renamed over path. A process
+// killed mid-write leaves only a stray .tmp file, which readers ignore
+// and a later run overwrites; resumable drivers (hyve-bench -resume)
+// depend on this: any file that exists under its final name decodes.
+func WriteAtomic(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	name := tmp.Name()
+	tmp = nil // success path: nothing left for the deferred cleanup
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("obs: atomic write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteAtomicWritesFullContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "complete document\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "complete document\n" {
+		t.Errorf("content = %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Errorf("stray files after success: %v", names)
+	}
+}
+
+// TestWriteAtomicKilledMidWrite is the crash-safety regression test: a
+// writer that dies after emitting half its bytes (the unit-test stand-in
+// for a process killed mid-write) must leave the previous content of the
+// destination untouched and no partial document under the final name.
+func TestWriteAtomicKilledMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	if err := os.WriteFile(path, []byte("old complete document\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("killed mid-write")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, `{"schema":"hyve/artifact/v1","truncat`); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's own error", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "old complete document\n" {
+		t.Errorf("destination corrupted by failed write: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Errorf("temp files leaked after failed write: %v", names)
+	}
+}
+
+// A first write that never existed must not appear at all when the
+// writer fails — the "complete or absent" half of the contract.
+func TestWriteAtomicFailedFirstWriteLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return errors.New("die")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Errorf("partial file visible under final name: %v", serr)
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Errorf("temp files leaked: %v", names)
+	}
+}
+
+func TestWriteAtomicOverwritesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	for _, content := range []string{"first\n", "second, longer than the first\n", "3\n"} {
+		if err := WriteAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Errorf("content = %q, want %q", got, content)
+		}
+	}
+}
+
+func TestWriteAtomicMissingDirectory(t *testing.T) {
+	err := WriteAtomic(filepath.Join(t.TempDir(), "no-such-dir", "a.json"),
+		func(w io.Writer) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "atomic write") {
+		t.Errorf("err = %v, want wrapped create failure", err)
+	}
+}

@@ -5,10 +5,18 @@
 // emits results in index order after ForEach returns — so output is
 // byte-identical at any worker count and the only shared state is the
 // result slice, which is written at disjoint indices.
+//
+// The pool is panic-isolated: a panicking point is captured with its
+// stack and reported as that point's error (a *PanicError), never as a
+// process crash — one poisoned point cannot take down a sweep that has
+// hours of other points in flight. Workers drain normally after a
+// panic; remaining points still run.
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -24,6 +32,31 @@ func Workers(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PanicError is the per-point error a recovered panic becomes: the
+// panic value plus the goroutine stack at the panic site, so a crash in
+// a long sweep is diagnosable from the sweep's own error output.
+type PanicError struct {
+	Index int    // the point that panicked
+	Value any    // the value passed to panic()
+	Stack string // debug.Stack() captured inside the recover
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: point %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Options tunes a sweep's resilience policy.
+type Options struct {
+	// Retries is how many additional attempts a failing point gets
+	// before its error is reported (0 = fail on first error, the
+	// default). Retrying is sound for the deterministic workloads this
+	// pool runs — a deterministic failure fails every attempt and is
+	// reported unchanged — and rescues points hit by transient host
+	// conditions (file-system hiccups, memory pressure kills).
+	Retries int
+}
+
 // ForEach runs fn(i) for every i in [0, n) on at most
 // Workers(workers) goroutines and returns the error of the lowest
 // failing index — the same error a sequential loop that runs every
@@ -34,7 +67,15 @@ func Workers(requested int) int {
 // goroutine, short-circuiting at the first error exactly like the
 // pre-pool sequential loops; because later points are independent of
 // earlier ones, the reported error is identical either way.
+//
+// A panic inside fn does not escape: it is recovered into a
+// *PanicError for that index (see ForEachOpt for the policy knobs).
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachOpt(workers, n, Options{}, fn)
+}
+
+// ForEachOpt is ForEach with an explicit resilience policy.
+func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -43,9 +84,22 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		w = n
 	}
 	rec := obs.Default()
+	attempt := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				rec.Count("parallel.points.panicked", 1)
+				err = &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
+			}
+		}()
+		return fn(i)
+	}
 	point := func(i int) error {
 		rec.Count("parallel.points.inflight", 1)
-		err := fn(i)
+		err := attempt(i)
+		for r := 0; err != nil && r < opt.Retries; r++ {
+			rec.Count("parallel.points.retried", 1)
+			err = attempt(i)
+		}
 		rec.Count("parallel.points.inflight", -1)
 		rec.Count("parallel.points.completed", 1)
 		return err

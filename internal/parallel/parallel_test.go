@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -94,5 +95,108 @@ func TestForEachSequentialShortCircuits(t *testing.T) {
 	})
 	if err == nil || ran != 4 {
 		t.Errorf("ran %d points (err %v), want short-circuit after index 3", ran, err)
+	}
+}
+
+func TestForEachRecoversPanicsIntoPointErrors(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var ran atomic.Int32
+		err := ForEach(workers, 40, func(i int) error {
+			ran.Add(1)
+			if i == 7 {
+				panic("poisoned point")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 7 || pe.Value != "poisoned point" {
+			t.Errorf("workers=%d: PanicError = {%d %v}", workers, pe.Index, pe.Value)
+		}
+		if pe.Stack == "" || !strings.Contains(pe.Error(), "poisoned point") {
+			t.Errorf("workers=%d: panic error lacks stack or value: %q", workers, pe.Error())
+		}
+		if workers > 1 && ran.Load() != 40 {
+			// Pooled mode drains: the other 39 points still run.
+			t.Errorf("workers=%d: ran %d of 40 points after panic", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachPanickingPointReportsLowestIndex(t *testing.T) {
+	err := ForEach(8, 100, func(i int) error {
+		switch i {
+		case 11:
+			panic(11)
+		case 42:
+			return errors.New("plain failure")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 11 {
+		t.Fatalf("err = %v, want panic at index 11", err)
+	}
+}
+
+func TestForEachOptRetriesTransientFailures(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		var failures [30]atomic.Int32
+		err := ForEachOpt(workers, 30, Options{Retries: 2}, func(i int) error {
+			// Every point fails twice (one panic, one error) then succeeds.
+			switch failures[i].Add(1) {
+			case 1:
+				panic("transient panic")
+			case 2:
+				return errors.New("transient error")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestForEachOptRetriesExhaust(t *testing.T) {
+	var attempts atomic.Int32
+	err := ForEachOpt(1, 1, Options{Retries: 3}, func(int) error {
+		attempts.Add(1)
+		return errors.New("deterministic failure")
+	})
+	if err == nil || err.Error() != "deterministic failure" {
+		t.Fatalf("err = %v", err)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want 1 + 3 retries", got)
+	}
+}
+
+// TestForEachPanicHammer is the race-condition hammer: many workers,
+// many points, a third of them panicking, run under -race in CI. The
+// pool must drain cleanly, report the lowest poisoned index, and never
+// double-run or skip a point.
+func TestForEachPanicHammer(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		const n = 300
+		hits := make([]atomic.Int32, n)
+		err := ForEach(16, n, func(i int) error {
+			hits[i].Add(1)
+			if i%3 == 0 {
+				panic(i)
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 0 {
+			t.Fatalf("round %d: err = %v, want panic at index 0", round, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("round %d: index %d ran %d times", round, i, c)
+			}
+		}
 	}
 }
