@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke fault-smoke check
+.PHONY: all build test vet race bench bench-json bench-smoke fault-smoke cache-smoke check
 
 # The committed benchmark artifact for this PR; bump per PR so the repo
 # accumulates a benchstat-style history (compare two with
@@ -40,6 +40,22 @@ bench-json:
 # iteration each), catching bit-rot without burning CI minutes.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# cache-smoke is the content-addressed cache's end-to-end gate: a cold
+# quick run populates the on-disk store, a warm run replays entirely
+# from it, and the two artifact directories must be byte-identical
+# (manifest.json excluded: it records wall time and worker count by
+# design). The warm run proves persistence across processes; the diff
+# proves a cache hit is indistinguishable from a fresh execution.
+CACHE_SMOKE_DIR ?= /tmp/hyve-cache-smoke
+cache-smoke:
+	rm -rf $(CACHE_SMOKE_DIR)
+	$(GO) run ./cmd/hyve-bench -quick -run table3,fig9,fig14 \
+		-cache-dir $(CACHE_SMOKE_DIR)/store -artifact-dir $(CACHE_SMOKE_DIR)/cold >/dev/null
+	$(GO) run ./cmd/hyve-bench -quick -run table3,fig9,fig14 \
+		-cache-dir $(CACHE_SMOKE_DIR)/store -artifact-dir $(CACHE_SMOKE_DIR)/warm >/dev/null
+	diff -r -x manifest.json $(CACHE_SMOKE_DIR)/cold $(CACHE_SMOKE_DIR)/warm
+	@echo cache-smoke: warm artifacts byte-identical to cold
 
 # fault-smoke drives the resilience layer end to end in bounded time:
 # the reliability experiment (BER sweep, SECDED accounting, bank

@@ -9,7 +9,19 @@
 //	hyve-bench -list           # enumerate artifacts
 //	hyve-bench -parallel 1     # fully serial (reference behaviour)
 //	hyve-bench -artifact-dir d # also emit canonical JSON artifacts to d
+//	hyve-bench -cache-dir c    # content-addressed result cache across runs
+//	hyve-bench -scale 4        # multiply every dataset's down-scale divisor
+//	hyve-bench -seed 7         # re-seed every dataset generator (XOR)
 //	hyve-bench -pprof :6060    # serve net/http/pprof + expvar counters
+//
+// Every simulation point is submitted through the internal/cache
+// scheduler, so points shared between experiments execute once per run;
+// with -cache-dir the results persist in an on-disk content-addressed
+// store and a repeat run re-executes nothing (-no-cache disables all
+// reuse). Artifact provenance is digest-checked: -resume reruns any
+// experiment whose surviving artifact was produced under different
+// options (a changed -scale, -seed, or -quick), instead of silently
+// keeping stale results.
 //
 // With more than one worker the simulated experiments run concurrently
 // (and fan their own points across the same pool), while the measured
@@ -30,7 +42,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/obs"
 )
 
@@ -41,8 +55,12 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		par    = flag.Int("parallel", 0, "worker count for simulation points and concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
 		artDir = flag.String("artifact-dir", "", "also write one canonical JSON artifact per experiment (plus manifest.json) to this directory")
-		resume = flag.Bool("resume", false, "with -artifact-dir: skip experiments whose artifact file already exists and validates, rerunning only missing or damaged ones")
-		pprof  = flag.String("pprof", "", "serve net/http/pprof and expvar worker-pool counters on this address (e.g. :6060)")
+		resume   = flag.Bool("resume", false, "with -artifact-dir: skip experiments whose artifact file already exists, validates, and matches the current options digest; rerun missing, damaged, or differently-configured ones")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar worker-pool counters on this address (e.g. :6060)")
+		scale    = flag.Int("scale", 1, "multiply every dataset's down-scale divisor by this factor (1 = paper scales)")
+		seed     = flag.Uint64("seed", 0, "XOR this into every dataset's generator seed (0 = paper seeds)")
+		cacheDir = flag.String("cache-dir", "", "persist simulation results in an on-disk content-addressed cache rooted here, reused across runs")
+		noCache  = flag.Bool("no-cache", false, "disable all simulation-result reuse, including the in-memory per-run cache")
 	)
 	flag.Parse()
 
@@ -67,6 +85,19 @@ func main() {
 	}
 
 	opt := experiments.Options{Quick: *quick, Parallel: *par}
+	if *scale < 1 {
+		fmt.Fprintln(os.Stderr, "hyve-bench: -scale must be at least 1")
+		os.Exit(1)
+	}
+	if *scale > 1 || *seed != 0 {
+		opt.Datasets = scaledDatasets(*quick, *scale, *seed)
+	}
+	switch {
+	case *noCache:
+		opt.Cache = cache.Off()
+	case *cacheDir != "":
+		opt.Cache = cache.New(cache.Config{Dir: *cacheDir})
+	}
 	todo, err := selectExperiments(*run)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -82,6 +113,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// scaledDatasets builds the dataset override for -scale/-seed: the
+// paper's registry (truncated to the quick subset exactly as
+// Options.datasets would truncate it) with every down-scale divisor
+// multiplied by scale and every generator seed XORed with seed. The
+// instances land in the artifact manifests and the options digest, so a
+// -resume against artifacts produced at a different scale or seed
+// reruns instead of keeping stale results.
+func scaledDatasets(quick bool, scale int, seed uint64) []graph.Dataset {
+	ds := graph.Datasets
+	if quick {
+		ds = ds[:2]
+	}
+	out := make([]graph.Dataset, len(ds))
+	for i, d := range ds {
+		d.Scale *= scale
+		d.Seed ^= seed
+		out[i] = d
+	}
+	return out
 }
 
 // selectExperiments resolves a -run list to experiments, in the order

@@ -32,11 +32,14 @@ import (
 // document under a final name.
 //
 // With resume also set, experiments whose artifact file already exists,
-// decodes strictly, and validates are skipped — their files are left
-// byte-for-byte untouched — and only the missing or damaged ones run.
-// Because artifact content is deterministic, a crashed run plus a
-// -resume run produces exactly the bytes one uninterrupted run would
-// have (pinned by TestRunAllResume).
+// decodes strictly, validates, and carries the current options digest
+// are skipped — their files are left byte-for-byte untouched — and only
+// the missing, damaged, or differently-configured ones run. Because
+// artifact content is deterministic, a crashed run plus a -resume run
+// produces exactly the bytes one uninterrupted run would have (pinned by
+// TestRunAllResume); an artifact produced under different options (a
+// changed -scale or -seed, a quick run resumed at full scale) fails the
+// digest comparison and reruns (TestResumeRejectsChangedOptions).
 func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiments.Options, artifactDir string, resume bool) error {
 	workers := parallel.Workers(opt.Parallel)
 	if opt.Parallel < 0 {
@@ -54,7 +57,7 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 		for i, e := range todo {
 			arts[i] = experiments.NewRunArtifact(e, opt)
 			if resume {
-				skip[i] = validArtifact(filepath.Join(artifactDir, e.ID+".json"), e.ID)
+				skip[i] = validArtifact(filepath.Join(artifactDir, e.ID+".json"), e.ID, experiments.OptionsDigest(e, opt))
 				if skip[i] {
 					fmt.Fprintf(progress, "(%s resumed: valid artifact present, skipping)\n", e.ID)
 				}
@@ -107,6 +110,19 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 		return obs.WriteAtomic(filepath.Join(artifactDir, "manifest.json"), m.EncodeJSON)
 	}
 
+	reused := 0
+	for i := range todo {
+		if skip[i] {
+			reused++
+		}
+	}
+	summarizeReuse := func() {
+		if reused > 0 {
+			fmt.Fprintf(progress, "(%d experiment(s) executed, %d reused from existing artifacts)\n",
+				len(todo)-reused, reused)
+		}
+	}
+
 	if workers <= 1 || len(todo) == 1 {
 		for i := range todo {
 			header(i)
@@ -121,7 +137,11 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 				return err
 			}
 		}
-		return writeManifest()
+		if err := writeManifest(); err != nil {
+			return err
+		}
+		summarizeReuse()
+		return nil
 	}
 
 	// Phase 1: simulated experiments across the pool, buffered.
@@ -168,21 +188,34 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 		return err
 	}
 
+	summarizeReuse()
+	executed := len(todo) - reused
+	if executed == 0 {
+		// Nothing ran: a speedup over zero aggregate time would divide
+		// zero by wall and report a meaningless figure.
+		_, err = fmt.Fprintf(progress, "\nwall clock %v, all %d experiments reused, nothing executed\n",
+			time.Since(start).Round(time.Millisecond), len(todo))
+		return err
+	}
+	// The aggregate covers executed experiments only — reused ones cost
+	// no experiment time and must not inflate (or deflate) the speedup.
 	wall := time.Since(start)
-	_, err = fmt.Fprintf(progress, "\nwall clock %v for %v of experiment time, %d workers (%.2fx speedup)\n",
-		wall.Round(time.Millisecond), aggregate.Round(time.Millisecond), workers,
+	_, err = fmt.Fprintf(progress, "\nwall clock %v for %v of experiment time across %d executed experiments, %d workers (%.2fx speedup)\n",
+		wall.Round(time.Millisecond), aggregate.Round(time.Millisecond), executed, workers,
 		aggregate.Seconds()/wall.Seconds())
 	return err
 }
 
 // validArtifact reports whether the file at path is a complete, valid
-// artifact for experiment id — the -resume predicate. Anything short of
-// a strict decode plus schema validation plus a matching id (a missing
+// artifact for experiment id produced under the options digest — the
+// -resume predicate. Anything short of a strict decode plus schema
+// validation plus a matching id AND a matching options digest (a missing
 // file, a truncated document, a foreign JSON object, an artifact moved
-// between ids) means the experiment reruns; atomically-written files
-// make truncation impossible in practice, but the predicate never
-// trusts that.
-func validArtifact(path, id string) bool {
+// between ids, an artifact produced under a different -scale/-seed/
+// -quick, or one predating the digest) means the experiment reruns;
+// atomically-written files make truncation impossible in practice, but
+// the predicate never trusts that.
+func validArtifact(path, id, digest string) bool {
 	f, err := os.Open(path)
 	if err != nil {
 		return false
@@ -192,5 +225,5 @@ func validArtifact(path, id string) bool {
 	if err != nil {
 		return false
 	}
-	return a.Validate() == nil && a.ID == id
+	return a.Validate() == nil && a.ID == id && a.Manifest.Digest == digest
 }

@@ -10,7 +10,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // fakeSuite builds a registry-like slice whose runners write fixed
@@ -207,22 +209,163 @@ func TestRunAllResume(t *testing.T) {
 
 func TestValidArtifactPredicate(t *testing.T) {
 	dir := t.TempDir()
-	if validArtifact(filepath.Join(dir, "absent.json"), "absent") {
+	if validArtifact(filepath.Join(dir, "absent.json"), "absent", "d1") {
 		t.Error("missing file reported valid")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	if err := os.WriteFile(bad, []byte(`{"schema":"hyve/artifact/v1","id":"bad"`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if validArtifact(bad, "bad") {
+	if validArtifact(bad, "bad", "d1") {
 		t.Error("truncated file reported valid")
 	}
 	foreign := filepath.Join(dir, "foreign.json")
 	if err := os.WriteFile(foreign, []byte(`{"hello":"world"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if validArtifact(foreign, "foreign") {
+	if validArtifact(foreign, "foreign", "d1") {
 		t.Error("foreign JSON reported valid")
+	}
+
+	// A well-formed artifact is only valid against the exact options
+	// digest it was produced under — the stale-artifact fix.
+	good := filepath.Join(dir, "good.json")
+	art := obs.NewArtifact("good", "a title", obs.Manifest{Digest: "d1"})
+	if err := obs.WriteAtomic(good, art.EncodeJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !validArtifact(good, "good", "d1") {
+		t.Error("matching artifact reported invalid")
+	}
+	if validArtifact(good, "good", "d2") {
+		t.Error("artifact from different options digest reported valid")
+	}
+	if validArtifact(good, "other", "d1") {
+		t.Error("artifact moved between ids reported valid")
+	}
+
+	// An artifact predating the digest field (Manifest.Digest empty)
+	// never matches a real digest: pre-digest survivors rerun.
+	old := filepath.Join(dir, "old.json")
+	if err := obs.WriteAtomic(old, obs.NewArtifact("old", "t", obs.Manifest{}).EncodeJSON); err != nil {
+		t.Fatal(err)
+	}
+	if validArtifact(old, "old", "d1") {
+		t.Error("pre-digest artifact reported valid against a real digest")
+	}
+}
+
+// TestResumeRejectsChangedOptions is the stale-artifact regression test:
+// artifacts produced at one dataset scale/seed must not survive a
+// -resume at another. Before the options digest, validArtifact accepted
+// any well-formed artifact with the right id, so the resumed run would
+// silently keep results computed from different graphs.
+func TestResumeRejectsChangedOptions(t *testing.T) {
+	var suite []experiments.Experiment
+	for _, id := range []string{"table3", "fig9"} {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, e)
+	}
+	opt := experiments.Options{Quick: true, Parallel: -1}
+	dir := t.TempDir()
+	if err := runAll(io.Discard, io.Discard, suite, opt, dir, false); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, "table3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same experiments, same directory — but the datasets are re-scaled
+	// and re-seeded, exactly what `hyve-bench -resume -scale 2 -seed 7`
+	// does.
+	reseeded := opt
+	reseeded.Datasets = scaledDatasets(true, 2, 7)
+	var progress bytes.Buffer
+	if err := runAll(io.Discard, &progress, suite, reseeded, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(progress.String(), "resumed:") {
+		t.Errorf("artifact from different options was resumed:\n%s", progress.String())
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "table3.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(before, after) {
+		t.Error("re-seeded run left the stale artifact bytes in place")
+	}
+
+	// A repeat resume under the same changed options now skips everything
+	// and says so without a speedup line.
+	progress.Reset()
+	if err := runAll(io.Discard, &progress, suite, reseeded, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"(table3 resumed:", "(fig9 resumed:", "(0 experiment(s) executed, 2 reused"} {
+		if !strings.Contains(progress.String(), want) {
+			t.Errorf("repeat resume missing %q:\n%s", want, progress.String())
+		}
+	}
+}
+
+// TestColdWarmCacheByteIdentity is the end-to-end cache contract: a cold
+// run through a disk-backed scheduler and a warm run through a fresh
+// scheduler over the same store must produce byte-identical artifacts,
+// and the warm run must execute zero simulation points.
+func TestColdWarmCacheByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick sweep twice; skip under -short")
+	}
+	var suite []experiments.Experiment
+	for _, id := range []string{"table3", "fig9", "fig14", "reliability"} {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, e)
+	}
+	cacheDir := t.TempDir()
+	coldDir, warmDir := t.TempDir(), t.TempDir()
+
+	cold := cache.New(cache.Config{Dir: cacheDir})
+	opt := experiments.Options{Quick: true, Parallel: 4, Cache: cold}
+	if err := runAll(io.Discard, io.Discard, suite, opt, coldDir, false); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Executed == 0 {
+		t.Fatalf("cold run executed nothing: %+v", st)
+	}
+
+	warm := cache.New(cache.Config{Dir: cacheDir})
+	opt.Cache = warm
+	if err := runAll(io.Discard, io.Discard, suite, opt, warmDir, false); err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Executed != 0 {
+		t.Errorf("warm run re-executed %d points (stats %+v)", st.Executed, st)
+	}
+	if st.DiskHits == 0 && st.MemHits == 0 {
+		t.Errorf("warm run hit nothing: %+v", st)
+	}
+
+	for _, e := range suite {
+		name := e.ID + ".json"
+		a, err := os.ReadFile(filepath.Join(coldDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(warmDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between cold and warm cache runs", name)
+		}
 	}
 }
 

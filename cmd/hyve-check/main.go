@@ -9,6 +9,13 @@
 //	hyve-check                       # 30s budget, seed 1
 //	hyve-check -seed 42 -points 1 -v # reproduce one reported point
 //	hyve-check -list                 # invariants and tolerances
+//	hyve-check -cache-dir c          # share the on-disk result cache
+//	hyve-check -no-cache             # private machine per point
+//
+// By default the sweep resolves machines through a per-sweep in-memory
+// cache scheduler; -cache-dir shares the persistent content-addressed
+// store with hyve-bench, and -no-cache disables all sharing so every
+// point assembles its own machine (the pre-cache behavior).
 //
 // Exit status is 0 when every invariant held at every point, 1 when a
 // violation was found, 2 on setup failure — or when points hit
@@ -23,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/check"
 )
 
@@ -39,6 +47,8 @@ func run(args []string, out, errOut io.Writer) int {
 	pointTimeout := fs.Duration("point-timeout", 60*time.Second, "abandon any single point that runs longer than this, record its seed, and continue (0 = no limit)")
 	verbose := fs.Bool("v", false, "print every point, not just failures")
 	list := fs.Bool("list", false, "list invariants and tolerances, then exit")
+	cacheDir := fs.String("cache-dir", "", "share the on-disk content-addressed result cache rooted here")
+	noCache := fs.Bool("no-cache", false, "disable machine/result sharing; every point builds privately")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,6 +65,14 @@ func run(args []string, out, errOut io.Writer) int {
 		return 0
 	}
 
+	var sched *cache.Scheduler // nil = per-sweep in-memory default
+	switch {
+	case *noCache:
+		sched = cache.Off()
+	case *cacheDir != "":
+		sched = cache.New(cache.Config{Dir: *cacheDir})
+	}
+
 	sum, err := check.Run(check.Options{
 		Seed:         *seed,
 		Points:       *points,
@@ -62,6 +80,7 @@ func run(args []string, out, errOut io.Writer) int {
 		Verbose:      *verbose,
 		Out:          out,
 		PointTimeout: *pointTimeout,
+		Cache:        sched,
 	})
 	if err != nil {
 		fmt.Fprintf(errOut, "hyve-check: %v\n", err)

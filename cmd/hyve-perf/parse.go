@@ -104,20 +104,48 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 	return out, nil
 }
 
-// compare renders an old-vs-new delta table for benchmarks present in
-// both sets, benchstat-style: mean ns/op before, after, and the change.
+// compare renders an old-vs-new delta table over the union of both
+// benchmark sets, benchstat-style: mean ns/op before, after, and the
+// change. Benchmarks present on only one side are listed as "new" or
+// "removed" rather than dropped (or worse, divided into ±Inf/NaN), so a
+// renamed benchmark is visible instead of silently vanishing from the
+// report.
 func compare(w io.Writer, old, new []Benchmark) {
-	byName := map[string]Benchmark{}
+	oldBy := map[string]Benchmark{}
 	for _, b := range old {
-		byName[b.Name] = b
+		oldBy[b.Name] = b
 	}
-	fmt.Fprintf(w, "%-40s %15s %15s %9s\n", "name", "old ns/op", "new ns/op", "delta")
-	for _, n := range new {
-		o, ok := byName[n.Name]
-		if !ok {
-			continue
+	newBy := map[string]Benchmark{}
+	for _, b := range new {
+		newBy[b.Name] = b
+	}
+	names := make([]string, 0, len(oldBy)+len(newBy))
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			names = append(names, name)
 		}
-		delta := (n.NsPerOp.Mean - o.NsPerOp.Mean) / o.NsPerOp.Mean * 100
-		fmt.Fprintf(w, "%-40s %15.0f %15.0f %+8.1f%%\n", n.Name, o.NsPerOp.Mean, n.NsPerOp.Mean, delta)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-40s %15s %15s %9s\n", "name", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, inOld := oldBy[name]
+		n, inNew := newBy[name]
+		switch {
+		case !inOld:
+			fmt.Fprintf(w, "%-40s %15s %15.0f %9s\n", name, "-", n.NsPerOp.Mean, "new")
+		case !inNew:
+			fmt.Fprintf(w, "%-40s %15.0f %15s %9s\n", name, o.NsPerOp.Mean, "-", "removed")
+		case !(o.NsPerOp.Mean > 0):
+			// A zero (or unparseable-to-positive) baseline has no finite
+			// relative delta; don't print ±Inf or NaN.
+			fmt.Fprintf(w, "%-40s %15.0f %15.0f %9s\n", name, o.NsPerOp.Mean, n.NsPerOp.Mean, "n/a")
+		default:
+			delta := (n.NsPerOp.Mean - o.NsPerOp.Mean) / o.NsPerOp.Mean * 100
+			fmt.Fprintf(w, "%-40s %15.0f %15.0f %+8.1f%%\n", name, o.NsPerOp.Mean, n.NsPerOp.Mean, delta)
+		}
 	}
 }

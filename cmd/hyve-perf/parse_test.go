@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -54,6 +55,54 @@ func TestParseBenchRejectsGarbageValues(t *testing.T) {
 	if err == nil {
 		t.Fatal("malformed value accepted")
 	}
+}
+
+// TestCompareDisjointSets pins the union behavior of compare: a
+// benchmark present on only one side is reported as "new" or "removed"
+// — never dropped, and never rendered as a ±Inf/NaN delta from dividing
+// by a missing baseline.
+func TestCompareDisjointSets(t *testing.T) {
+	old := []Benchmark{
+		{Name: "BenchmarkGone", Runs: 1, NsPerOp: Stat{Mean: 100, Min: 100, Max: 100}},
+		{Name: "BenchmarkShared", Runs: 1, NsPerOp: Stat{Mean: 200, Min: 200, Max: 200}},
+		{Name: "BenchmarkZeroBase", Runs: 1, NsPerOp: Stat{Mean: 0}},
+	}
+	new := []Benchmark{
+		{Name: "BenchmarkAdded", Runs: 1, NsPerOp: Stat{Mean: 50, Min: 50, Max: 50}},
+		{Name: "BenchmarkShared", Runs: 1, NsPerOp: Stat{Mean: 300, Min: 300, Max: 300}},
+		{Name: "BenchmarkZeroBase", Runs: 1, NsPerOp: Stat{Mean: 10, Min: 10, Max: 10}},
+	}
+	var buf bytes.Buffer
+	compare(&buf, old, new)
+	got := buf.String()
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(got, bad) {
+			t.Errorf("compare output contains %q:\n%s", bad, got)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 benchmarks in the union
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), got)
+	}
+	wantRow := func(name string, marks ...string) {
+		t.Helper()
+		for _, l := range lines[1:] {
+			if !strings.HasPrefix(l, name+" ") {
+				continue
+			}
+			for _, m := range marks {
+				if !strings.Contains(l, m) {
+					t.Errorf("row for %s missing %q: %q", name, m, l)
+				}
+			}
+			return
+		}
+		t.Errorf("no row for %s in:\n%s", name, got)
+	}
+	wantRow("BenchmarkAdded", "new", "-")
+	wantRow("BenchmarkGone", "removed", "-")
+	wantRow("BenchmarkShared", "+50.0%")
+	wantRow("BenchmarkZeroBase", "n/a")
 }
 
 func TestRunWritesArtifactAndCompares(t *testing.T) {

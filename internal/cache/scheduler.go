@@ -1,0 +1,306 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Config tunes a Scheduler.
+type Config struct {
+	// Dir, when non-empty, backs the scheduler with the on-disk
+	// content-addressed result store rooted there, so identical points
+	// are reused across processes, not just within one.
+	Dir string
+	// MemResults bounds the in-memory result LRU (entries across all
+	// shards; results are ~1 KB each). 0 means DefaultMemResults.
+	MemResults int
+	// MemMachines bounds the assembled-machine LRU. Machines hold their
+	// partitioned grid, so this is the scheduler's real memory knob;
+	// a machine is only needed on the execution path (a result hit never
+	// builds one). 0 means DefaultMemMachines.
+	MemMachines int
+}
+
+// Default LRU capacities.
+const (
+	DefaultMemResults  = 4096
+	DefaultMemMachines = 8
+)
+
+// Stats counts what the scheduler did. Executed counts completed
+// simulations; Errors counts submissions whose execution failed (error
+// outcomes are never cached — a failing point re-executes every time,
+// deliberately, so probes of error paths keep probing). Bypassed counts
+// submissions that skipped the cache entirely (a recorder was attached,
+// or the point could not be digested).
+type Stats struct {
+	Executed  uint64
+	MemHits   uint64
+	DiskHits  uint64
+	Coalesced uint64
+	Bypassed  uint64
+	Errors    uint64
+}
+
+// Scheduler is the unified submission point for simulations: every
+// consumer asks it to Simulate (or for a Machine), and identical points
+// — equal canonical digests — execute exactly once. Concurrent
+// submissions of the same point coalesce onto one execution; completed
+// results live in a sharded in-memory LRU and, when configured, the
+// on-disk store.
+//
+// Cached results are shared: callers must treat a *core.Result obtained
+// from the scheduler as read-only (the experiment race tests run under
+// -race, which turns any violation into a reported data race).
+//
+// A nil *Scheduler is valid and simply executes every submission — so
+// call sites can thread an optional scheduler without nil checks.
+type Scheduler struct {
+	off      bool
+	disk     *store
+	results  *lruShards
+	machines *lruShards
+
+	mu       sync.Mutex
+	inflight map[Digest]*flight
+
+	executed, memHits, diskHits, coalesced, bypassed, errors atomic.Uint64
+}
+
+type flight struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// New builds a scheduler.
+func New(c Config) *Scheduler {
+	s := &Scheduler{
+		results:  newLRUShards(c.MemResults, DefaultMemResults),
+		machines: newLRUShards(c.MemMachines, DefaultMemMachines),
+		inflight: make(map[Digest]*flight),
+	}
+	if c.Dir != "" {
+		s.disk = &store{dir: c.Dir}
+	}
+	return s
+}
+
+// Off returns a scheduler that executes every submission and caches
+// nothing — the -no-cache escape hatch, distinguishable from nil (which
+// call sites use for "default").
+func Off() *Scheduler { return &Scheduler{off: true} }
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Executed:  s.executed.Load(),
+		MemHits:   s.memHits.Load(),
+		DiskHits:  s.diskHits.Load(),
+		Coalesced: s.coalesced.Load(),
+		Bypassed:  s.bypassed.Load(),
+		Errors:    s.errors.Load(),
+	}
+}
+
+// Simulate submits one point. On a miss the point executes through a
+// shared Machine (grid built once even if a Machine consumer also holds
+// the point) and the result is stored; on a hit the cached result —
+// byte-identical to a fresh execution by the cache-hit-identity
+// invariant — returns without simulating.
+func (s *Scheduler) Simulate(cfg core.Config, w core.Workload) (*core.Result, error) {
+	if s == nil || s.off || cfg.Recorder != nil {
+		if s != nil {
+			s.bypassed.Add(1)
+		}
+		return core.Simulate(cfg, w)
+	}
+	d, err := PointDigest(cfg, w)
+	if err != nil {
+		// An undigestable point (nil graph/program) still gets core's
+		// real validation error from a direct execution.
+		s.bypassed.Add(1)
+		return core.Simulate(cfg, w)
+	}
+	if r, ok := s.results.get(d); ok {
+		s.memHits.Add(1)
+		return r.(*core.Result), nil
+	}
+
+	// Coalesce concurrent submissions of the same digest onto one
+	// execution; followers wait for the leader's outcome.
+	s.mu.Lock()
+	if f, ok := s.inflight[d]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		<-f.done
+		return f.res, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[d] = f
+	s.mu.Unlock()
+
+	f.res, f.err = s.runPoint(d, cfg, w)
+
+	s.mu.Lock()
+	delete(s.inflight, d)
+	s.mu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// runPoint resolves one digest the slow way: disk, then execution.
+func (s *Scheduler) runPoint(d Digest, cfg core.Config, w core.Workload) (*core.Result, error) {
+	if s.disk != nil {
+		if r, ok := s.disk.get(d); ok {
+			s.diskHits.Add(1)
+			s.results.put(d, r)
+			return r, nil
+		}
+	}
+	m, err := s.machineFor(d, cfg, w)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	r, err := m.Simulate()
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	s.executed.Add(1)
+	s.results.put(d, r)
+	if s.disk != nil {
+		// Best-effort: a failed put only costs a future re-execution.
+		_ = s.disk.put(d, r)
+	}
+	return r, nil
+}
+
+// Machine returns the assembled simulator for a point, shared by digest:
+// consumers that need the grid or the functional run (the conformance
+// harness, experiments that cross-check) get the same machine for the
+// same point, generalizing core.Machine's per-instance memoization to
+// the whole process. The machine's own memoized getters make concurrent
+// use safe.
+func (s *Scheduler) Machine(cfg core.Config, w core.Workload) (*core.Machine, error) {
+	if s == nil || s.off || cfg.Recorder != nil {
+		return core.NewMachine(cfg, w)
+	}
+	d, err := PointDigest(cfg, w)
+	if err != nil {
+		return core.NewMachine(cfg, w)
+	}
+	return s.machineFor(d, cfg, w)
+}
+
+// machineFor resolves the shared machine for a digest, building at most
+// one even under concurrent callers (LoadOrStore-style: losers discard).
+func (s *Scheduler) machineFor(d Digest, cfg core.Config, w core.Workload) (*core.Machine, error) {
+	if m, ok := s.machines.get(d); ok {
+		return m.(*core.Machine), nil
+	}
+	m, err := core.NewMachine(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	if prev, ok := s.machines.getOrPut(d, m); ok {
+		return prev.(*core.Machine), nil
+	}
+	return m, nil
+}
+
+// --- sharded LRU --------------------------------------------------------
+
+const numShards = 16
+
+// lruShards is a digest-keyed LRU split across fixed shards (first
+// digest byte), bounding lock contention under the parallel experiment
+// pool without a global lock.
+type lruShards struct {
+	cap    int // per shard
+	shards [numShards]lruShard
+}
+
+type lruShard struct {
+	mu sync.Mutex
+	m  map[Digest]*list.Element
+	ll list.List // front = most recent; values are *lruEntry
+}
+
+type lruEntry struct {
+	key Digest
+	val any
+}
+
+func newLRUShards(capacity, fallback int) *lruShards {
+	if capacity <= 0 {
+		capacity = fallback
+	}
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	s := &lruShards{cap: per}
+	for i := range s.shards {
+		s.shards[i].m = make(map[Digest]*list.Element)
+	}
+	return s
+}
+
+func (s *lruShards) shard(d Digest) *lruShard { return &s.shards[d[0]%numShards] }
+
+func (s *lruShards) get(d Digest) (any, bool) {
+	sh := s.shard(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[d]; ok {
+		sh.ll.MoveToFront(el)
+		return el.Value.(*lruEntry).val, true
+	}
+	return nil, false
+}
+
+func (s *lruShards) put(d Digest, v any) {
+	sh := s.shard(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.insert(s.cap, d, v)
+}
+
+// getOrPut returns the existing value for d (true) or inserts v (false),
+// atomically per shard — the machine path uses it so concurrent builders
+// converge on one instance.
+func (s *lruShards) getOrPut(d Digest, v any) (any, bool) {
+	sh := s.shard(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[d]; ok {
+		sh.ll.MoveToFront(el)
+		return el.Value.(*lruEntry).val, true
+	}
+	sh.insert(s.cap, d, v)
+	return v, false
+}
+
+// insert adds (d, v), evicting from the back past the capacity. Callers
+// hold the shard lock.
+func (sh *lruShard) insert(capacity int, d Digest, v any) {
+	if el, ok := sh.m[d]; ok {
+		el.Value.(*lruEntry).val = v
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.m[d] = sh.ll.PushFront(&lruEntry{key: d, val: v})
+	for sh.ll.Len() > capacity {
+		back := sh.ll.Back()
+		sh.ll.Remove(back)
+		delete(sh.m, back.Value.(*lruEntry).key)
+	}
+}

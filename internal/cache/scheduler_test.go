@@ -1,0 +1,186 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSchedulerMemoryAndDiskHits(t *testing.T) {
+	cfg, w := testPoint(t)
+	dir := t.TempDir()
+
+	s := New(Config{Dir: dir})
+	r1, err := s.Simulate(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Simulate(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("memory hit returned a different result instance")
+	}
+	if st := s.Stats(); st.Executed != 1 || st.MemHits != 1 || st.DiskHits != 0 {
+		t.Errorf("stats after two submissions: %+v", st)
+	}
+
+	// A fresh scheduler over the same directory can only find the result
+	// on disk.
+	s2 := New(Config{Dir: dir})
+	if _, err := s2.Simulate(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Executed != 0 || st.DiskHits != 1 {
+		t.Errorf("fresh-scheduler stats: %+v", st)
+	}
+	// The disk hit was promoted into memory.
+	if _, err := s2.Simulate(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Errorf("promotion stats: %+v", st)
+	}
+}
+
+// TestSchedulerCoalesces hammers one point from many goroutines through
+// a memory-only scheduler and requires exactly one execution; run under
+// -race this is also the concurrency soundness test for the LRU shards
+// and the inflight table.
+func TestSchedulerCoalesces(t *testing.T) {
+	cfg, w := testPoint(t)
+	s := New(Config{})
+	const workers = 16
+	results := make([]*core.Result, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Simulate(cfg, w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Executed != 1 {
+		t.Errorf("%d executions for one point under %d concurrent submissions (%+v)",
+			st.Executed, workers, st)
+	}
+	if st.MemHits+st.Coalesced != workers-1 {
+		t.Errorf("hits+coalesced = %d, want %d: %+v", st.MemHits+st.Coalesced, workers-1, st)
+	}
+	for i, r := range results {
+		if r == nil || r != results[0] {
+			t.Fatalf("worker %d got a different result instance", i)
+		}
+	}
+}
+
+func TestSchedulerNilAndOff(t *testing.T) {
+	cfg, w := testPoint(t)
+	var nilSched *Scheduler
+	if _, err := nilSched.Simulate(cfg, w); err != nil {
+		t.Fatalf("nil scheduler: %v", err)
+	}
+	if st := nilSched.Stats(); st != (Stats{}) {
+		t.Errorf("nil scheduler stats: %+v", st)
+	}
+
+	off := Off()
+	if _, err := off.Simulate(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.Simulate(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if st := off.Stats(); st.Bypassed != 2 || st.Executed != 0 || st.MemHits != 0 {
+		t.Errorf("off scheduler cached something: %+v", st)
+	}
+}
+
+// TestSchedulerNeverCachesErrors: a failing point re-executes on every
+// submission, so probes of error paths (the reliability experiment's
+// bank-loss probe) keep observing the failure.
+func TestSchedulerNeverCachesErrors(t *testing.T) {
+	cfg, w := testPoint(t)
+	cfg.NumPUs = 0 // fails validation inside the simulator
+	s := New(Config{Dir: t.TempDir()})
+	for i := 0; i < 2; i++ {
+		if _, err := s.Simulate(cfg, w); err == nil {
+			t.Fatal("invalid config simulated successfully")
+		}
+	}
+	if st := s.Stats(); st.Errors != 2 || st.Executed != 0 || st.MemHits != 0 || st.DiskHits != 0 {
+		t.Errorf("error outcomes were cached: %+v", st)
+	}
+}
+
+func TestSchedulerSharesMachines(t *testing.T) {
+	cfg, w := testPoint(t)
+	s := New(Config{})
+	m1, err := s.Machine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Machine(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("same point resolved to two machines")
+	}
+	other := cfg
+	other.NumPUs *= 2
+	m3, err := s.Machine(other, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Error("different points share a machine")
+	}
+}
+
+func TestLRUEvicts(t *testing.T) {
+	// Capacity 16 spreads to one entry per shard, so two digests in one
+	// shard evict each other; digests differing only past byte 0 stay in
+	// the same shard.
+	s := newLRUShards(16, DefaultMemResults)
+	var a, b Digest
+	a[1], b[1] = 1, 2
+	s.put(a, "a")
+	if v, ok := s.get(a); !ok || v != "a" {
+		t.Fatal("inserted entry missing")
+	}
+	s.put(b, "b")
+	if _, ok := s.get(a); ok {
+		t.Error("capacity-1 shard kept both entries")
+	}
+	if v, ok := s.get(b); !ok || v != "b" {
+		t.Error("most recent entry evicted")
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	s := newLRUShards(32, DefaultMemResults) // two per shard
+	var a, b, c Digest
+	a[1], b[1], c[1] = 1, 2, 3
+	s.put(a, "a")
+	s.put(b, "b")
+	s.get(a) // a is now more recent than b
+	s.put(c, "c")
+	if _, ok := s.get(b); ok {
+		t.Error("least-recent entry survived")
+	}
+	for _, d := range []Digest{a, c} {
+		if _, ok := s.get(d); !ok {
+			t.Errorf("recent entry %x evicted", d[1])
+		}
+	}
+}

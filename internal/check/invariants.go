@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"os"
 
 	"repro/internal/algo"
 	"repro/internal/analytic"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/device/dram"
@@ -104,6 +106,11 @@ func Invariants() []Invariant {
 			Name:      "artifact-roundtrip",
 			Tolerance: "byte-exact canonical re-encoding after decode",
 			Check:     checkArtifactRoundtrip,
+		},
+		{
+			Name:      "cache-hit-identity",
+			Tolerance: "byte-exact: memory and disk hits identical to fresh execution",
+			Check:     checkCacheHitIdentity,
 		},
 		{
 			Name:      "fault-zero-rate",
@@ -462,6 +469,69 @@ func checkFaultSECDED(p *Point) error {
 	if r1.Report.Energy.Total() < base.Report.Energy.Total() {
 		return fmt.Errorf("check: ECC made the run cheaper: %v vs %v",
 			r1.Report.Energy.Total(), base.Report.Energy.Total())
+	}
+	return nil
+}
+
+// checkCacheHitIdentity holds the result cache to its core contract: a
+// cache hit is indistinguishable from a fresh execution. The point runs
+// once through a disk-backed scheduler (asserting it actually executed),
+// is fetched back from the in-memory LRU, and then fetched by a second,
+// cold scheduler that can only find it in the on-disk store — and every
+// one of those results, plus the sweep's own independently simulated
+// baseline, must encode to identical canonical bytes.
+func checkCacheHitIdentity(p *Point) error {
+	base, err := p.Sim()
+	if err != nil {
+		return err
+	}
+	baseBytes, err := cache.EncodeResult(base)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "hyve-cache-check")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	warm := cache.New(cache.Config{Dir: dir})
+	executed, err := warm.Simulate(p.Cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	if st := warm.Stats(); st.Executed != 1 || st.Bypassed != 0 {
+		return fmt.Errorf("check: cold scheduler stats %+v, want exactly one execution", st)
+	}
+	memHit, err := warm.Simulate(p.Cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	if st := warm.Stats(); st.MemHits != 1 {
+		return fmt.Errorf("check: repeat submission stats %+v, want one memory hit", st)
+	}
+
+	cold := cache.New(cache.Config{Dir: dir})
+	diskHit, err := cold.Simulate(p.Cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	if st := cold.Stats(); st.DiskHits != 1 || st.Executed != 0 {
+		return fmt.Errorf("check: fresh scheduler over same store stats %+v, want one disk hit and no execution", st)
+	}
+
+	for _, tc := range []struct {
+		name string
+		r    *core.Result
+	}{{"executed", executed}, {"memory hit", memHit}, {"disk hit", diskHit}} {
+		b, err := cache.EncodeResult(tc.r)
+		if err != nil {
+			return fmt.Errorf("check: encoding %s result: %w", tc.name, err)
+		}
+		if !bytes.Equal(b, baseBytes) {
+			return fmt.Errorf("check: %s result differs from fresh execution (%d vs %d bytes)",
+				tc.name, len(b), len(baseBytes))
+		}
 	}
 	return nil
 }

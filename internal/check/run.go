@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/cache"
 )
 
 // Options configures a conformance sweep.
@@ -25,6 +27,12 @@ type Options struct {
 	// on its own — and the sweep moves on, so one pathological seed
 	// cannot wedge a CI sweep forever. 0 means no limit.
 	PointTimeout time.Duration
+	// Cache is the scheduler points resolve their machines through, so a
+	// sweep shares assembled grids and results with any other consumer of
+	// the same scheduler. Nil builds a private in-memory scheduler for
+	// the sweep; cache.Off() disables sharing entirely (the -no-cache
+	// escape hatch).
+	Cache *cache.Scheduler
 }
 
 // DefaultPoints is the sweep size when neither budget is set.
@@ -92,6 +100,10 @@ func Run(opt Options) (*Summary, error) {
 	if points <= 0 && opt.Duration <= 0 {
 		points = DefaultPoints
 	}
+	sched := opt.Cache
+	if sched == nil {
+		sched = cache.New(cache.Config{})
+	}
 	deadline := time.Time{}
 	if opt.Duration > 0 {
 		deadline = time.Now().Add(opt.Duration)
@@ -105,7 +117,7 @@ func Run(opt Options) (*Summary, error) {
 			break
 		}
 		seed := opt.Seed + uint64(i)
-		res, err := runPointWithTimeout(seed, invs, opt.PointTimeout)
+		res, err := runPointWithTimeout(seed, invs, opt.PointTimeout, sched)
 		if err != nil {
 			return sum, err
 		}
@@ -149,11 +161,12 @@ type indexedFailure struct {
 }
 
 // runPoint builds the seed's point and runs every applicable invariant.
-func runPoint(seed uint64, invs []Invariant) (*pointResult, error) {
+func runPoint(seed uint64, invs []Invariant, sched *cache.Scheduler) (*pointResult, error) {
 	p, err := NewPoint(seed)
 	if err != nil {
 		return nil, fmt.Errorf("check: building point for seed %d: %w", seed, err)
 	}
+	p.Sched = sched
 	res := &pointResult{point: p.String(), runs: make([]int, len(invs))}
 	for j := range invs {
 		inv := &invs[j]
@@ -177,9 +190,9 @@ func runPoint(seed uint64, invs []Invariant) (*pointResult, error) {
 // running (a wedged simulation cannot be cancelled from outside; the
 // leak is bounded by one goroutine per timed-out point) and delivers
 // its eventual result into a buffered channel nobody reads.
-func runPointWithTimeout(seed uint64, invs []Invariant, limit time.Duration) (*pointResult, error) {
+func runPointWithTimeout(seed uint64, invs []Invariant, limit time.Duration, sched *cache.Scheduler) (*pointResult, error) {
 	if limit <= 0 {
-		return runPoint(seed, invs)
+		return runPoint(seed, invs, sched)
 	}
 	type outcome struct {
 		res *pointResult
@@ -187,7 +200,7 @@ func runPointWithTimeout(seed uint64, invs []Invariant, limit time.Duration) (*p
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		r, err := runPoint(seed, invs)
+		r, err := runPoint(seed, invs, sched)
 		ch <- outcome{r, err}
 	}()
 	timer := time.NewTimer(limit)

@@ -23,6 +23,14 @@ import (
 	"repro/internal/units"
 )
 
+// SimSchema identifies the semantic version of the simulator for
+// content-addressed result caching (internal/cache): two runs of the
+// same point under the same SimSchema produce byte-identical results.
+// Bump it on ANY change that can alter simulation output — cost model
+// constants, scheduling, accounting, device pricing — so cached results
+// from an older simulator can never be mistaken for current ones.
+const SimSchema = "hyve/sim/v1"
+
 // MemKind selects the technology backing a memory role.
 type MemKind int
 

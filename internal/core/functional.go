@@ -132,6 +132,12 @@ func (m *Machine) Grid() *partition.Grid { return m.s.grid }
 // P returns the interval count the machine chose.
 func (m *Machine) P() int { return m.s.p }
 
+// Config returns the configuration the machine was assembled for.
+func (m *Machine) Config() Config { return m.s.cfg }
+
+// Workload returns the workload the machine was assembled for.
+func (m *Machine) Workload() Workload { return m.s.w }
+
 // RunFunctional runs (once; memoized) the blocked functional execution.
 func (m *Machine) RunFunctional() (*algo.Result, error) {
 	m.mu.Lock()

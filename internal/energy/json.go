@@ -1,0 +1,35 @@
+package energy
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// MarshalJSON encodes the breakdown as a fixed-order array of
+// per-component energies (report order, one slot per Component). The
+// array form keeps the encoding canonical — equal breakdowns encode to
+// equal bytes — which the content-addressed result cache relies on to
+// prove a cache hit byte-identical to a fresh execution. The component
+// order is part of the simulator's semantic version (core.SimSchema):
+// reordering or adding components requires a bump there.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	return json.Marshal(b.by[:])
+}
+
+// UnmarshalJSON decodes the array form, rejecting any document whose
+// component count disagrees with this build — a cached result from a
+// different component set must fail to decode rather than silently
+// misattribute energy.
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var vals []units.Energy
+	if err := json.Unmarshal(data, &vals); err != nil {
+		return err
+	}
+	if len(vals) != int(numComponents) {
+		return fmt.Errorf("energy: breakdown has %d components, this build has %d", len(vals), int(numComponents))
+	}
+	copy(b.by[:], vals)
+	return nil
+}

@@ -1,0 +1,42 @@
+package energy
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestBreakdownJSONRoundTrip(t *testing.T) {
+	var b Breakdown
+	b.Add(EdgeMemory, 3*units.Joule)
+	b.Add(Router, units.Joule)
+	b.Add(Logic, 2*units.Joule)
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Breakdown
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Errorf("round-trip changed the breakdown: %+v vs %+v", got, b)
+	}
+	again, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("re-encoding not byte-stable: %s vs %s", again, data)
+	}
+}
+
+func TestBreakdownJSONRejectsWrongComponentCount(t *testing.T) {
+	for _, bad := range []string{`[]`, `[1]`, `[1,2,3,4,5,6,7,8,9,10,11,12]`, `{"edge":1}`} {
+		var b Breakdown
+		if err := json.Unmarshal([]byte(bad), &b); err == nil {
+			t.Errorf("document %s decoded into a breakdown", bad)
+		}
+	}
+}

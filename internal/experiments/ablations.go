@@ -66,7 +66,7 @@ func runAblationNVM(w io.Writer, opt Options) error {
 		}
 		row := []string{d.Name}
 		// ReRAM: the paper's design.
-		base, err := core.Simulate(core.HyVEOpt(), wl)
+		base, err := opt.simulate(core.HyVEOpt(), wl)
 		if err != nil {
 			return err
 		}
@@ -80,7 +80,7 @@ func runAblationNVM(w io.Writer, opt Options) error {
 			cfg := core.HyVEOpt()
 			cfg.Name = "acc+HyVE-opt/" + kind.String()
 			cfg.CustomEdgeDevice = chip
-			r, err := core.Simulate(cfg, wl)
+			r, err := opt.simulate(cfg, wl)
 			if err != nil {
 				return err
 			}
@@ -89,7 +89,7 @@ func runAblationNVM(w io.Writer, opt Options) error {
 		// DRAM reference: volatile, so sharing only.
 		sd := core.SRAMDRAM()
 		sd.DataSharing = true
-		r, err := core.Simulate(sd, wl)
+		r, err := opt.simulate(sd, wl)
 		if err != nil {
 			return err
 		}
@@ -129,7 +129,7 @@ func runAblationGateTimeout(w io.Writer, opt Options) error {
 		for _, to := range timeouts {
 			cfg := core.HyVEOpt()
 			cfg.Gate.IdleTimeout = to
-			r, err := core.Simulate(cfg, wl)
+			r, err := opt.simulate(cfg, wl)
 			if err != nil {
 				return err
 			}
@@ -165,7 +165,7 @@ func runAblationRouter(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		base, err := core.Simulate(core.HyVE(), wl)
+		base, err := opt.simulate(core.HyVE(), wl)
 		if err != nil {
 			return err
 		}
@@ -174,7 +174,7 @@ func runAblationRouter(w io.Writer, opt Options) error {
 			cfg := core.HyVE()
 			cfg.DataSharing = true
 			cfg.RerouteCycles = c
-			r, err := core.Simulate(cfg, wl)
+			r, err := opt.simulate(cfg, wl)
 			if err != nil {
 				return err
 			}
@@ -364,11 +364,11 @@ func runAblationTopology(w io.Writer, opt Options) error {
 			return err
 		}
 		wl := core.Workload{DatasetName: ge.name, Graph: g, Program: algo.NewPageRank()}
-		sd, err := core.Simulate(core.SRAMDRAM(), wl)
+		sd, err := opt.simulate(core.SRAMDRAM(), wl)
 		if err != nil {
 			return err
 		}
-		opt2, err := core.Simulate(core.HyVEOpt(), wl)
+		opt2, err := opt.simulate(core.HyVEOpt(), wl)
 		if err != nil {
 			return err
 		}

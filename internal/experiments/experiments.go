@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/algo"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -41,13 +42,42 @@ type Options struct {
 	// runners record their headline numbers as named metrics. Drivers
 	// build one with NewRunArtifact and serialize it after Run returns.
 	Artifact *obs.Artifact
+	// Cache is the scheduler every simulation point is submitted
+	// through, so identical points across experiments (and, with a
+	// disk-backed scheduler, across runs) execute exactly once. Nil
+	// uses a process-wide in-memory default; cache.Off() disables
+	// reuse entirely. Results a runner receives may be shared with
+	// other runners and must be treated as read-only.
+	Cache *cache.Scheduler
+}
+
+// defaultCache is the process-wide scheduler used when a driver does not
+// supply one: in-memory only, so every run still dedups identical points
+// across its experiments (the HyVE baseline of one dataset is simulated
+// once for Figs. 14/15/17/18, not four times).
+var defaultCache = cache.New(cache.Config{})
+
+// cacheFor resolves the run's scheduler.
+func (o Options) cacheFor() *cache.Scheduler {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return defaultCache
+}
+
+// simulate submits one simulation point through the run's scheduler —
+// the single path every runner's core points take, which is what makes
+// "identical points execute exactly once" a property of the suite
+// rather than of each runner.
+func (o Options) simulate(cfg core.Config, wl core.Workload) (*core.Result, error) {
+	return o.cacheFor().Simulate(cfg, wl)
 }
 
 // NewRunArtifact builds the artifact shell for one experiment run,
-// pinning the resolved dataset list into the manifest. Attach it via
-// Options.Artifact before calling e.Run.
+// pinning the resolved dataset list and the options digest into the
+// manifest. Attach it via Options.Artifact before calling e.Run.
 func NewRunArtifact(e Experiment, o Options) *obs.Artifact {
-	m := obs.Manifest{Quick: o.Quick}
+	m := obs.Manifest{Quick: o.Quick, Digest: OptionsDigest(e, o)}
 	for _, d := range o.datasets() {
 		m.Datasets = append(m.Datasets, obs.DatasetRef{
 			Name:         d.Name,
@@ -59,6 +89,32 @@ func NewRunArtifact(e Experiment, o Options) *obs.Artifact {
 		})
 	}
 	return obs.NewArtifact(e.ID, e.Title, m)
+}
+
+// OptionsDigest is the canonical provenance digest of one experiment
+// run: the experiment id, the sweep mode, every resolved dataset
+// instance (name, scale divisor, generator seed, full-scale sizes), and
+// the artifact and simulator schema versions. It deliberately excludes
+// Options.Parallel (artifacts are byte-identical at any worker count)
+// and the attached artifact/cache. Resumable drivers store it in the
+// artifact manifest and rerun on mismatch: changing -scale, -seed, or
+// -quick between runs changes the digest, so a -resume can no longer
+// silently keep results from a different configuration.
+func OptionsDigest(e Experiment, o Options) string {
+	h := cache.NewHasher()
+	h.Str("schema", obs.ArtifactSchema)
+	h.Str("sim", core.SimSchema)
+	h.Str("experiment", e.ID)
+	h.Bool("quick", o.Quick)
+	for _, d := range o.datasets() {
+		h.Str("ds.name", d.Name)
+		h.Str("ds.long", d.Long)
+		h.I64("ds.scale", int64(d.Scale))
+		h.U64("ds.seed", d.Seed)
+		h.I64("ds.full_v", d.FullVertices)
+		h.I64("ds.full_e", d.FullEdges)
+	}
+	return h.Sum().String()
 }
 
 // writeTable renders t to w and mirrors it, under name, into the run's

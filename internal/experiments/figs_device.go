@@ -277,7 +277,7 @@ func runFig13(w io.Writer, opt Options) error {
 		for bits := 1; bits <= 3; bits++ {
 			cfg := core.HyVEOpt()
 			cfg.RRAM.Cell = rram.PaperCell(bits)
-			r, err := core.Simulate(cfg, wl)
+			r, err := opt.simulate(cfg, wl)
 			if err != nil {
 				return err
 			}

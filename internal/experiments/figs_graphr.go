@@ -159,7 +159,7 @@ func runFig21(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		hv, err := core.Simulate(core.HyVE(), wl)
+		hv, err := opt.simulate(core.HyVE(), wl)
 		if err != nil {
 			return err
 		}

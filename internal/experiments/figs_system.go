@@ -23,13 +23,13 @@ func runFig14(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		base, err := core.Simulate(core.HyVE(), wl)
+		base, err := opt.simulate(core.HyVE(), wl)
 		if err != nil {
 			return err
 		}
 		cfg := core.HyVE()
 		cfg.DataSharing = true
-		shared, err := core.Simulate(cfg, wl)
+		shared, err := opt.simulate(cfg, wl)
 		if err != nil {
 			return err
 		}
@@ -68,13 +68,13 @@ func runFig15(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		base, err := core.Simulate(core.HyVE(), wl)
+		base, err := opt.simulate(core.HyVE(), wl)
 		if err != nil {
 			return err
 		}
 		cfg := core.HyVE()
 		cfg.PowerGating = true
-		gated, err := core.Simulate(cfg, wl)
+		gated, err := opt.simulate(cfg, wl)
 		if err != nil {
 			return err
 		}
@@ -99,7 +99,7 @@ func runFig15(w io.Writer, opt Options) error {
 }
 
 // fig16Rows runs every configuration of Fig. 16 on one workload.
-func fig16Rows(wl core.Workload) (map[string]float64, error) {
+func fig16Rows(opt Options, wl core.Workload) (map[string]float64, error) {
 	out := map[string]float64{}
 	for _, m := range []cpusim.Model{cpusim.NXgraph(), cpusim.Galois()} {
 		r, err := cpusim.Simulate(m, wl)
@@ -109,7 +109,7 @@ func fig16Rows(wl core.Workload) (map[string]float64, error) {
 		out[m.Name] = r.MTEPSPerWatt()
 	}
 	for _, cfg := range core.Fig16Configs() {
-		r, err := core.Simulate(cfg, wl)
+		r, err := opt.simulate(cfg, wl)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +139,7 @@ func runFig16(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		points[i], err = fig16Rows(wl)
+		points[i], err = fig16Rows(opt, wl)
 		return err
 	})
 	if err != nil {
@@ -203,7 +203,7 @@ func runFig17(w io.Writer, opt Options) error {
 			return err
 		}
 		for _, c := range configs {
-			r, err := core.Simulate(c.cfg, wl)
+			r, err := opt.simulate(c.cfg, wl)
 			if err != nil {
 				return err
 			}
@@ -262,11 +262,11 @@ func runFig18(w io.Writer, opt Options) error {
 		if err != nil {
 			return err
 		}
-		sd, err := core.Simulate(core.SRAMDRAM(), wl)
+		sd, err := opt.simulate(core.SRAMDRAM(), wl)
 		if err != nil {
 			return err
 		}
-		hv, err := core.Simulate(core.HyVE(), wl)
+		hv, err := opt.simulate(core.HyVE(), wl)
 		if err != nil {
 			return err
 		}

@@ -29,7 +29,7 @@ func runReliability(w io.Writer, opt Options) error {
 	if err != nil {
 		return err
 	}
-	base, err := core.Simulate(core.HyVEOpt(), wl)
+	base, err := opt.simulate(core.HyVEOpt(), wl)
 	if err != nil {
 		return err
 	}
@@ -46,7 +46,7 @@ func runReliability(w io.Writer, opt Options) error {
 		cfg := core.HyVEOpt()
 		cfg.Name = "acc+HyVE-opt+secded"
 		cfg.Fault = fault.Config{Enabled: true, Seed: 1, RawBER: bers[i], ECC: fault.ECCSECDED}
-		r, err := core.Simulate(cfg, wl)
+		r, err := opt.simulate(cfg, wl)
 		results[i] = r
 		return err
 	}); err != nil {
@@ -71,7 +71,7 @@ func runReliability(w io.Writer, opt Options) error {
 	worst := bers[len(bers)-1]
 	noECC := core.HyVEOpt()
 	noECC.Fault = fault.Config{Enabled: true, Seed: 1, RawBER: worst}
-	nr, err := core.Simulate(noECC, wl)
+	nr, err := opt.simulate(noECC, wl)
 	if err != nil {
 		return err
 	}
@@ -89,7 +89,7 @@ func runReliability(w io.Writer, opt Options) error {
 	for _, failed := range []int{0, 1, 2} {
 		cfg := core.HyVEOpt()
 		cfg.Fault = fault.Config{Enabled: true, Seed: 1, FailedBanks: failed, SpareBanks: 4}
-		r, err := core.Simulate(cfg, wl)
+		r, err := opt.simulate(cfg, wl)
 		if err != nil {
 			return err
 		}
@@ -102,7 +102,7 @@ func runReliability(w io.Writer, opt Options) error {
 	// Exhausting the pool must refuse to complete, not degrade silently.
 	lossCfg := core.HyVEOpt()
 	lossCfg.Fault = fault.Config{Enabled: true, Seed: 1, FailedBanks: 1, SpareBanks: 0}
-	if _, err := core.Simulate(lossCfg, wl); err != nil {
+	if _, err := opt.simulate(lossCfg, wl); err != nil {
 		bt.addf("%d|%d|%s|%s|%s", 1, 0, "-", "aborts (bank loss)", "-")
 	} else {
 		bt.addf("%d|%d|%s|%s|%s", 1, 0, "-", "UNEXPECTED PASS", "-")

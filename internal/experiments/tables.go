@@ -114,7 +114,7 @@ func runTable4(w io.Writer, opt Options) error {
 			cfg.SRAMBytes = s
 			cfg.DataSharing = combo.sharing
 			cfg.PowerGating = combo.gating
-			r, err := core.Simulate(cfg, wl)
+			r, err := opt.simulate(cfg, wl)
 			if err != nil {
 				return err
 			}

@@ -41,6 +41,16 @@ type Artifact struct {
 type Manifest struct {
 	Quick    bool         `json:"quick"`
 	Datasets []DatasetRef `json:"datasets,omitempty"`
+	// Digest is the canonical options digest the artifact was produced
+	// under (experiment id + sweep mode + exact dataset instances +
+	// simulator schema version). Resumable drivers compare it against
+	// the digest of the options they are about to run with: a mismatch
+	// means the artifact, however well-formed, belongs to a different
+	// configuration and must be regenerated — the fix for -resume
+	// silently keeping stale results after a -scale/-seed change.
+	// Empty in artifacts predating the digest (which resumable drivers
+	// treat as a mismatch) and in non-resumable documents (hyve-sim).
+	Digest string `json:"digest,omitempty"`
 }
 
 // DatasetRef pins one dataset instance well enough to reproduce it.
