@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke fault-smoke cache-smoke check
+.PHONY: all build test vet race bench bench-json bench-smoke fault-smoke cache-smoke obs-smoke check
 
 # The committed benchmark artifact for this PR; bump per PR so the repo
 # accumulates a benchstat-style history (compare two with
@@ -56,6 +56,26 @@ cache-smoke:
 		-cache-dir $(CACHE_SMOKE_DIR)/store -artifact-dir $(CACHE_SMOKE_DIR)/warm >/dev/null
 	diff -r -x manifest.json $(CACHE_SMOKE_DIR)/cold $(CACHE_SMOKE_DIR)/warm
 	@echo cache-smoke: warm artifacts byte-identical to cold
+
+# obs-smoke is the observability end-to-end gate: a quick bench run with
+# the introspection endpoints up, scraped live by hyve-top -lint, which
+# fails unless the Prometheus exposition is well-formed (HELP/TYPE on
+# every family, monotone cumulative histogram buckets closing at +Inf,
+# no duplicate series) and the load-bearing families are present —
+# cache counters, an exec-latency histogram, per-worker utilization.
+OBS_SMOKE_ADDR ?= 127.0.0.1:6071
+obs-smoke:
+	$(GO) build -o /tmp/hyve-bench-smoke ./cmd/hyve-bench
+	$(GO) build -o /tmp/hyve-top-smoke ./cmd/hyve-top
+	/tmp/hyve-bench-smoke -quick -run table3,fig9,fig14 -parallel 4 \
+		-pprof $(OBS_SMOKE_ADDR) >/dev/null & \
+	BENCH_PID=$$!; \
+	/tmp/hyve-top-smoke -lint -wait 60s -url http://$(OBS_SMOKE_ADDR)/metrics \
+		-require hyve_cache_hits_total,hyve_cache_misses_total,hyve_parallel_point_exec_seconds,hyve_parallel_worker_utilization,hyve_parallel_points_completed_total; \
+	LINT=$$?; \
+	wait $$BENCH_PID || { echo "obs-smoke: bench run failed"; exit 1; }; \
+	exit $$LINT
+	@echo obs-smoke: exposition valid and complete
 
 # fault-smoke drives the resilience layer end to end in bounded time:
 # the reliability experiment (BER sweep, SECDED accounting, bank

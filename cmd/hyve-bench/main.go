@@ -12,7 +12,19 @@
 //	hyve-bench -cache-dir c    # content-addressed result cache across runs
 //	hyve-bench -scale 4        # multiply every dataset's down-scale divisor
 //	hyve-bench -seed 7         # re-seed every dataset generator (XOR)
-//	hyve-bench -pprof :6060    # serve net/http/pprof + expvar counters
+//	hyve-bench -pprof :6060    # serve pprof, expvar, /metrics, /debug/flight, /debug/trace
+//	hyve-bench -log-level warn # quieter progress (debug|info|warn|error)
+//	hyve-bench -trace t.json   # export the span trace (Chrome trace_event)
+//
+// Progress goes to stderr as leveled logfmt lines (-log-level selects
+// the floor, default info), keeping stdout pipeable. With -pprof the
+// process also serves Prometheus text exposition at /metrics (counters,
+// gauges, and latency histograms with hyve_-prefixed stable names — see
+// EXPERIMENTS.md for the reference table), the flight recorder at
+// /debug/flight, and the live span trace at /debug/trace; cmd/hyve-top
+// renders a terminal dashboard from /metrics. With -trace the full span
+// hierarchy (run → experiment → point → simulated phases) is written as
+// a Chrome trace_event document on exit, loadable in a trace viewer.
 //
 // Every simulation point is submitted through the internal/cache
 // scheduler, so points shared between experiments execute once per run;
@@ -50,19 +62,31 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "", "run selected experiments by id, comma-separated (e.g. fig16 or table3,fig9)")
-		quick  = flag.Bool("quick", false, "reduced datasets and sweeps")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		par    = flag.Int("parallel", 0, "worker count for simulation points and concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
-		artDir = flag.String("artifact-dir", "", "also write one canonical JSON artifact per experiment (plus manifest.json) to this directory")
+		run      = flag.String("run", "", "run selected experiments by id, comma-separated (e.g. fig16 or table3,fig9)")
+		quick    = flag.Bool("quick", false, "reduced datasets and sweeps")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		par      = flag.Int("parallel", 0, "worker count for simulation points and concurrent experiments (0 = GOMAXPROCS, 1 = serial)")
+		artDir   = flag.String("artifact-dir", "", "also write one canonical JSON artifact per experiment (plus manifest.json) to this directory")
 		resume   = flag.Bool("resume", false, "with -artifact-dir: skip experiments whose artifact file already exists, validates, and matches the current options digest; rerun missing, damaged, or differently-configured ones")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar worker-pool counters on this address (e.g. :6060)")
 		scale    = flag.Int("scale", 1, "multiply every dataset's down-scale divisor by this factor (1 = paper scales)")
 		seed     = flag.Uint64("seed", 0, "XOR this into every dataset's generator seed (0 = paper seeds)")
 		cacheDir = flag.String("cache-dir", "", "persist simulation results in an on-disk content-addressed cache rooted here, reused across runs")
 		noCache  = flag.Bool("no-cache", false, "disable all simulation-result reuse, including the in-memory per-run cache")
+		logLevel = flag.String("log-level", "info", "progress log floor: debug, info, warn, or error")
+		trace    = flag.String("trace", "", "write the run's span trace to this file as Chrome trace_event JSON (implies tracing on)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyve-bench:", err)
+		os.Exit(1)
+	}
+	log := obs.NewLogger(os.Stderr, level)
+	// A panic or point timeout anywhere in the run dumps the flight
+	// recorder's last events to stderr for post-mortem context.
+	obs.SetFlightDump(os.Stderr)
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -72,16 +96,26 @@ func main() {
 	}
 
 	if *pprof != "" {
-		// Route the process-global recorder into the expvar map so
-		// /debug/vars exposes the worker pool's completed/in-flight
-		// point counters alongside the pprof endpoints.
-		obs.SetDefault(obs.Expvar())
+		// Route the process-global recorder into both the expvar map
+		// (/debug/vars) and the Prometheus registry (/metrics), enable
+		// span tracing, and serve the flight recorder — the full
+		// introspection surface on one address.
+		obs.SetDefault(obs.Multi(obs.Expvar(), obs.Metrics()))
+		obs.EnableTracing(0)
+		cache.RegisterMetrics(obs.Default())
+		http.Handle("/metrics", obs.Metrics().PromHandler())
+		http.Handle("/debug/flight", obs.FlightHandler())
+		http.Handle("/debug/trace", obs.TraceHandler())
 		go func() {
 			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof server:", err)
+				log.Error("pprof.server", "err", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "pprof + expvar on http://%s/debug/pprof/ and /debug/vars\n", *pprof)
+		log.Info("observability.listening", "addr", *pprof,
+			"endpoints", "/metrics /debug/pprof /debug/vars /debug/flight /debug/trace")
+	}
+	if *trace != "" && !obs.TracingEnabled() {
+		obs.EnableTracing(0)
 	}
 
 	opt := experiments.Options{Quick: *quick, Parallel: *par}
@@ -109,10 +143,32 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := runAll(os.Stdout, os.Stderr, todo, opt, *artDir, *resume); err != nil {
+	if err := runAll(os.Stdout, log, todo, opt, *artDir, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *trace != "" {
+		if err := writeTrace(*trace); err != nil {
+			fmt.Fprintln(os.Stderr, "hyve-bench: writing trace:", err)
+			os.Exit(1)
+		}
+		log.Info("trace.written", "file", *trace, "spans", len(obs.Tracing().Snapshot()),
+			"dropped", obs.Tracing().Dropped())
+	}
+}
+
+// writeTrace exports the global span buffer as a Chrome trace_event
+// document, loadable in chrome://tracing or Perfetto.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Tracing().WriteCatapult(f, "hyve-bench"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // scaledDatasets builds the dataset override for -scale/-seed: the

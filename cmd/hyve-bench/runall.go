@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"repro/internal/experiments"
@@ -14,14 +16,22 @@ import (
 )
 
 // runAll executes every experiment and writes the artifacts to w in the
-// given (paper) order; timing annotations and the closing speedup line
-// go to progress (stderr in the binary), so w carries only the
+// given (paper) order; timing and lifecycle events go to log as leveled
+// logfmt lines (stderr in the binary), so w carries only the
 // deterministic artifact bytes and stays pipeable. A serial run streams
 // each experiment straight to w; with more than one worker the simulated
 // experiments run concurrently into per-experiment buffers, the measured
 // ones run serially afterwards on an otherwise idle process, and
 // everything is emitted in order once complete. Both paths produce the
 // same artifact bytes.
+//
+// The run is observable end to end: a "bench run" span parents one
+// "experiment <id>" span per executed experiment (and, through
+// Options.Ctx, the point spans the cache scheduler opens under them),
+// experiment lifecycle lands in the flight recorder, and the process
+// recorder carries bench.experiments.total/completed/reused so a live
+// monitor can compute progress and ETA. All of it is free when tracing
+// is disabled and the recorder is the no-op default.
 //
 // With artifactDir non-empty, every experiment also emits its canonical
 // JSON artifact (<id>.json) there, plus a run-level manifest.json
@@ -40,13 +50,17 @@ import (
 // TestRunAllResume); an artifact produced under different options (a
 // changed -scale or -seed, a quick run resumed at full scale) fails the
 // digest comparison and reruns (TestResumeRejectsChangedOptions).
-func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiments.Options, artifactDir string, resume bool) error {
+func runAll(w io.Writer, log *obs.Logger, todo []experiments.Experiment, opt experiments.Options, artifactDir string, resume bool) error {
 	workers := parallel.Workers(opt.Parallel)
 	if opt.Parallel < 0 {
 		workers = 1
 	}
+	rec := obs.Default()
 	start := time.Now()
 	elapsed := make([]time.Duration, len(todo))
+	runCtx, runSpan := obs.StartSpan(context.Background(), "bench run",
+		"experiments", strconv.Itoa(len(todo)), "workers", strconv.Itoa(workers))
+	defer runSpan.End()
 
 	arts := make([]*obs.Artifact, len(todo))
 	skip := make([]bool, len(todo))
@@ -59,20 +73,32 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 			if resume {
 				skip[i] = validArtifact(filepath.Join(artifactDir, e.ID+".json"), e.ID, experiments.OptionsDigest(e, opt))
 				if skip[i] {
-					fmt.Fprintf(progress, "(%s resumed: valid artifact present, skipping)\n", e.ID)
+					log.Info("experiment.resumed", "id", e.ID)
 				}
 			}
 		}
 	}
+	rec.Gauge("bench.experiments.total", float64(len(todo)))
 
 	runOne := func(i int, out io.Writer) error {
 		o := opt
 		o.Artifact = arts[i]
+		ectx, span := obs.StartSpan(runCtx, "experiment "+todo[i].ID, "title", todo[i].Title)
+		o.Ctx = ectx
+		obs.Flight().Record("bench.experiment.start", todo[i].ID)
+		log.Debug("experiment.start", "id", todo[i].ID)
 		t0 := time.Now()
 		if err := todo[i].Run(out, o); err != nil {
+			span.SetAttr("error", err.Error())
+			span.End()
+			obs.Flight().Record("bench.experiment.fail", todo[i].ID, "err", err.Error())
+			log.Error("experiment.fail", "id", todo[i].ID, "err", err)
 			return fmt.Errorf("%s failed: %w", todo[i].ID, err)
 		}
 		elapsed[i] = time.Since(t0)
+		span.End()
+		obs.Flight().Record("bench.experiment.done", todo[i].ID, "elapsed", elapsed[i].String())
+		rec.Count("bench.experiments.completed", 1)
 		return nil
 	}
 	header := func(i int) {
@@ -82,7 +108,7 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 		fmt.Fprintf(w, "=== %s: %s ===\n", todo[i].ID, todo[i].Title)
 	}
 	footer := func(i int) {
-		fmt.Fprintf(progress, "(%s in %v)\n", todo[i].ID, elapsed[i].Round(time.Millisecond))
+		log.Info("experiment.done", "id", todo[i].ID, "elapsed", elapsed[i].Round(time.Millisecond))
 	}
 	writeArtifact := func(i int) error {
 		if arts[i] == nil || skip[i] {
@@ -116,10 +142,10 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 			reused++
 		}
 	}
+	rec.Count("bench.experiments.reused", int64(reused))
 	summarizeReuse := func() {
 		if reused > 0 {
-			fmt.Fprintf(progress, "(%d experiment(s) executed, %d reused from existing artifacts)\n",
-				len(todo)-reused, reused)
+			log.Info("run.reuse", "executed", len(todo)-reused, "reused", reused)
 		}
 	}
 
@@ -193,17 +219,18 @@ func runAll(w, progress io.Writer, todo []experiments.Experiment, opt experiment
 	if executed == 0 {
 		// Nothing ran: a speedup over zero aggregate time would divide
 		// zero by wall and report a meaningless figure.
-		_, err = fmt.Fprintf(progress, "\nwall clock %v, all %d experiments reused, nothing executed\n",
-			time.Since(start).Round(time.Millisecond), len(todo))
-		return err
+		log.Info("run.summary", "wall", time.Since(start).Round(time.Millisecond),
+			"executed", 0, "reused", reused)
+		return nil
 	}
 	// The aggregate covers executed experiments only — reused ones cost
 	// no experiment time and must not inflate (or deflate) the speedup.
 	wall := time.Since(start)
-	_, err = fmt.Fprintf(progress, "\nwall clock %v for %v of experiment time across %d executed experiments, %d workers (%.2fx speedup)\n",
-		wall.Round(time.Millisecond), aggregate.Round(time.Millisecond), executed, workers,
-		aggregate.Seconds()/wall.Seconds())
-	return err
+	log.Info("run.summary", "wall", wall.Round(time.Millisecond),
+		"experiment_time", aggregate.Round(time.Millisecond),
+		"executed", executed, "workers", workers,
+		"speedup", aggregate.Seconds()/wall.Seconds())
+	return nil
 }
 
 // validArtifact reports whether the file at path is a complete, valid

@@ -34,21 +34,27 @@ func fakeSuite() []experiments.Experiment {
 	}
 }
 
+// testLogger returns a logger capturing logfmt lines into the buffer at
+// debug level, standing in for the binary's stderr logger.
+func testLogger(buf *bytes.Buffer) *obs.Logger {
+	return obs.NewLogger(buf, obs.LevelDebug)
+}
+
 func TestRunAllOrderAndDeterminism(t *testing.T) {
 	suite := fakeSuite()
 	var serial, par, serialProg, parProg bytes.Buffer
-	if err := runAll(&serial, &serialProg, suite, experiments.Options{Parallel: -1}, "", false); err != nil {
+	if err := runAll(&serial, testLogger(&serialProg), suite, experiments.Options{Parallel: -1}, "", false); err != nil {
 		t.Fatalf("serial runAll: %v", err)
 	}
-	if err := runAll(&par, &parProg, suite, experiments.Options{Parallel: 8}, "", false); err != nil {
+	if err := runAll(&par, testLogger(&parProg), suite, experiments.Options{Parallel: 8}, "", false); err != nil {
 		t.Fatalf("parallel runAll: %v", err)
 	}
-	// With the timing annotations routed to the progress writer, stdout
+	// With the timing annotations routed to the progress logger, stdout
 	// must be byte-identical between serial and parallel runs.
 	if got, want := par.String(), serial.String(); got != want {
 		t.Errorf("parallel stdout bytes differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
 	}
-	if strings.Contains(par.String(), "wall clock ") || strings.Contains(par.String(), "(alpha in ") {
+	if strings.Contains(par.String(), "msg=run.summary") || strings.Contains(par.String(), "msg=experiment.done") {
 		t.Errorf("timing annotations leaked into stdout:\n%s", par.String())
 	}
 	// Emission must follow registry order regardless of completion order.
@@ -64,14 +70,20 @@ func TestRunAllOrderAndDeterminism(t *testing.T) {
 		}
 		last = at
 	}
-	if !strings.Contains(parProg.String(), "speedup)") {
-		t.Errorf("parallel run missing speedup line on progress writer:\n%s", parProg.String())
+	if !strings.Contains(parProg.String(), "msg=run.summary") || !strings.Contains(parProg.String(), "speedup=") {
+		t.Errorf("parallel run missing run.summary with speedup on progress logger:\n%s", parProg.String())
 	}
-	if strings.Contains(serialProg.String(), "speedup)") {
-		t.Errorf("serial run should not print a speedup line")
+	if strings.Contains(serialProg.String(), "speedup=") {
+		t.Errorf("serial run should not log a speedup")
 	}
-	if !strings.Contains(serialProg.String(), "(alpha in ") {
-		t.Errorf("serial run missing per-experiment timing on progress writer:\n%s", serialProg.String())
+	if !strings.Contains(serialProg.String(), "msg=experiment.done id=alpha") {
+		t.Errorf("serial run missing per-experiment timing on progress logger:\n%s", serialProg.String())
+	}
+	// Every progress line is well-formed logfmt: ts, level, msg fields.
+	for _, line := range strings.Split(strings.TrimSpace(parProg.String()), "\n") {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, " level=") || !strings.Contains(line, " msg=") {
+			t.Errorf("malformed logfmt line: %q", line)
+		}
 	}
 }
 
@@ -80,7 +92,7 @@ func TestRunAllPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
 	suite[2].Run = func(w io.Writer, opt experiments.Options) error { return boom }
 	for _, workers := range []int{-1, 8} {
-		err := runAll(io.Discard, io.Discard, suite, experiments.Options{Parallel: workers}, "", false)
+		err := runAll(io.Discard, nil, suite, experiments.Options{Parallel: workers}, "", false)
 		if err == nil || !errors.Is(err, boom) {
 			t.Errorf("Parallel=%d: want wrapped boom error, got %v", workers, err)
 		}
@@ -110,7 +122,7 @@ func TestArtifactBytesIdenticalAcrossWorkers(t *testing.T) {
 		if workers == 1 {
 			opt.Parallel = -1
 		}
-		if err := runAll(io.Discard, io.Discard, suite, opt, dir, false); err != nil {
+		if err := runAll(io.Discard, nil, suite, opt, dir, false); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 	}
@@ -157,7 +169,7 @@ func TestRunAllResume(t *testing.T) {
 
 	// Reference: one uninterrupted run.
 	full := t.TempDir()
-	if err := runAll(io.Discard, io.Discard, suite, opt, full, false); err != nil {
+	if err := runAll(io.Discard, nil, suite, opt, full, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -180,13 +192,13 @@ func TestRunAllResume(t *testing.T) {
 	}
 
 	var progress bytes.Buffer
-	if err := runAll(io.Discard, &progress, suite, opt, part, true); err != nil {
+	if err := runAll(io.Discard, testLogger(&progress), suite, opt, part, true); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(progress.String(), "(table3 resumed:") {
+	if !strings.Contains(progress.String(), "msg=experiment.resumed id=table3") {
 		t.Errorf("valid surviving artifact not skipped:\n%s", progress.String())
 	}
-	for _, bad := range []string{"(fig9 resumed:", "(fig14 resumed:"} {
+	for _, bad := range []string{"msg=experiment.resumed id=fig9", "msg=experiment.resumed id=fig14"} {
 		if strings.Contains(progress.String(), bad) {
 			t.Errorf("damaged/missing artifact wrongly skipped: %s", bad)
 		}
@@ -271,7 +283,7 @@ func TestResumeRejectsChangedOptions(t *testing.T) {
 	}
 	opt := experiments.Options{Quick: true, Parallel: -1}
 	dir := t.TempDir()
-	if err := runAll(io.Discard, io.Discard, suite, opt, dir, false); err != nil {
+	if err := runAll(io.Discard, nil, suite, opt, dir, false); err != nil {
 		t.Fatal(err)
 	}
 	before, err := os.ReadFile(filepath.Join(dir, "table3.json"))
@@ -285,10 +297,10 @@ func TestResumeRejectsChangedOptions(t *testing.T) {
 	reseeded := opt
 	reseeded.Datasets = scaledDatasets(true, 2, 7)
 	var progress bytes.Buffer
-	if err := runAll(io.Discard, &progress, suite, reseeded, dir, true); err != nil {
+	if err := runAll(io.Discard, testLogger(&progress), suite, reseeded, dir, true); err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(progress.String(), "resumed:") {
+	if strings.Contains(progress.String(), "msg=experiment.resumed") {
 		t.Errorf("artifact from different options was resumed:\n%s", progress.String())
 	}
 	after, err := os.ReadFile(filepath.Join(dir, "table3.json"))
@@ -302,10 +314,10 @@ func TestResumeRejectsChangedOptions(t *testing.T) {
 	// A repeat resume under the same changed options now skips everything
 	// and says so without a speedup line.
 	progress.Reset()
-	if err := runAll(io.Discard, &progress, suite, reseeded, dir, true); err != nil {
+	if err := runAll(io.Discard, testLogger(&progress), suite, reseeded, dir, true); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"(table3 resumed:", "(fig9 resumed:", "(0 experiment(s) executed, 2 reused"} {
+	for _, want := range []string{"msg=experiment.resumed id=table3", "msg=experiment.resumed id=fig9", "msg=run.reuse executed=0 reused=2"} {
 		if !strings.Contains(progress.String(), want) {
 			t.Errorf("repeat resume missing %q:\n%s", want, progress.String())
 		}
@@ -333,7 +345,7 @@ func TestColdWarmCacheByteIdentity(t *testing.T) {
 
 	cold := cache.New(cache.Config{Dir: cacheDir})
 	opt := experiments.Options{Quick: true, Parallel: 4, Cache: cold}
-	if err := runAll(io.Discard, io.Discard, suite, opt, coldDir, false); err != nil {
+	if err := runAll(io.Discard, nil, suite, opt, coldDir, false); err != nil {
 		t.Fatal(err)
 	}
 	if st := cold.Stats(); st.Executed == 0 {
@@ -342,7 +354,7 @@ func TestColdWarmCacheByteIdentity(t *testing.T) {
 
 	warm := cache.New(cache.Config{Dir: cacheDir})
 	opt.Cache = warm
-	if err := runAll(io.Discard, io.Discard, suite, opt, warmDir, false); err != nil {
+	if err := runAll(io.Discard, nil, suite, opt, warmDir, false); err != nil {
 		t.Fatal(err)
 	}
 	st := warm.Stats()
@@ -392,7 +404,7 @@ func TestGoldenQuickArtifacts(t *testing.T) {
 		suite = append(suite, e)
 	}
 	dir := t.TempDir()
-	if err := runAll(io.Discard, io.Discard, suite, experiments.Options{Quick: true}, dir, false); err != nil {
+	if err := runAll(io.Discard, nil, suite, experiments.Options{Quick: true}, dir, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range ids {

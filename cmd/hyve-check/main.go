@@ -11,6 +11,7 @@
 //	hyve-check -list                 # invariants and tolerances
 //	hyve-check -cache-dir c          # share the on-disk result cache
 //	hyve-check -no-cache             # private machine per point
+//	hyve-check -pprof :6060          # serve pprof, /metrics, /debug/flight
 //
 // By default the sweep resolves machines through a per-sweep in-memory
 // cache scheduler; -cache-dir shares the persistent content-addressed
@@ -21,20 +22,33 @@
 // violation was found, 2 on setup failure — or when points hit
 // -point-timeout and no violation was found, so an incomplete sweep
 // can never pass silently.
+//
+// A point that times out automatically dumps the flight recorder's last
+// events (what the point was doing when it wedged) to stderr; -pprof
+// additionally serves the live introspection endpoints — /metrics with
+// per-invariant latency histograms, /debug/flight, /debug/trace — on the
+// given address while the sweep runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/check"
+	"repro/internal/obs"
 )
 
 func main() {
+	// Point timeouts and worker panics dump the flight recorder for
+	// post-mortem context (the test harness, which calls run directly,
+	// leaves the dump writer uninstalled and stays quiet).
+	obs.SetFlightDump(os.Stderr)
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
@@ -49,6 +63,7 @@ func run(args []string, out, errOut io.Writer) int {
 	list := fs.Bool("list", false, "list invariants and tolerances, then exit")
 	cacheDir := fs.String("cache-dir", "", "share the on-disk content-addressed result cache rooted here")
 	noCache := fs.Bool("no-cache", false, "disable machine/result sharing; every point builds privately")
+	pprof := fs.String("pprof", "", "serve pprof, expvar, /metrics, /debug/flight, and /debug/trace on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,6 +78,20 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintf(out, "%-22s %s\n", inv.Name, inv.Tolerance)
 		}
 		return 0
+	}
+
+	if *pprof != "" {
+		obs.SetDefault(obs.Multi(obs.Expvar(), obs.Metrics()))
+		obs.EnableTracing(0)
+		cache.RegisterMetrics(obs.Default())
+		http.Handle("/metrics", obs.Metrics().PromHandler())
+		http.Handle("/debug/flight", obs.FlightHandler())
+		http.Handle("/debug/trace", obs.TraceHandler())
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintln(errOut, "hyve-check: pprof server:", err)
+			}
+		}()
 	}
 
 	var sched *cache.Scheduler // nil = per-sweep in-memory default

@@ -2,10 +2,14 @@ package cache
 
 import (
 	"container/list"
+	"context"
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config tunes a Scheduler.
@@ -109,29 +113,79 @@ func (s *Scheduler) Stats() Stats {
 	}
 }
 
+// Metric names the scheduler emits through the process-global
+// Recorder, so expvar and /metrics show cache behavior without code
+// changes in consumers. Counters mirror Stats ("cache.misses" counts
+// executions); the two histograms are log-bucketed latencies.
+const (
+	MetricHits      = "cache.hits"
+	MetricMisses    = "cache.misses"
+	MetricDiskHits  = "cache.disk.hits"
+	MetricCoalesced = "cache.coalesced"
+	MetricErrors    = "cache.errors"
+	MetricBypassed  = "cache.bypassed"
+	MetricLookupSec = "cache.lookup.seconds"
+	MetricExecSec   = "cache.exec.seconds"
+)
+
+// RegisterMetrics announces every scheduler counter to rec at value
+// zero, so a freshly-scraped /metrics shows the cache series before the
+// first submission (and dashboards never see a missing-series gap).
+func RegisterMetrics(rec obs.Recorder) {
+	for _, name := range []string{
+		MetricHits, MetricMisses, MetricDiskHits,
+		MetricCoalesced, MetricErrors, MetricBypassed,
+	} {
+		rec.Count(name, 0)
+	}
+}
+
 // Simulate submits one point. On a miss the point executes through a
 // shared Machine (grid built once even if a Machine consumer also holds
 // the point) and the result is stored; on a hit the cached result —
 // byte-identical to a fresh execution by the cache-hit-identity
 // invariant — returns without simulating.
 func (s *Scheduler) Simulate(cfg core.Config, w core.Workload) (*core.Result, error) {
+	return s.SimulateCtx(context.Background(), cfg, w)
+}
+
+// SimulateCtx is Simulate under a caller context, which exists so span
+// tracing can nest the executed point under the caller's span (run →
+// experiment → point). The context does not cancel an execution — a
+// simulation, once started, runs to completion so a cached result is
+// never half-made.
+//
+// Every submission also reports to the process-global obs Recorder:
+// hit/miss/coalesce/error counters, a digest+lookup latency histogram,
+// and an execution latency histogram — so a live /metrics scrape sees
+// cache behavior that Stats() only reveals to code holding the
+// scheduler.
+func (s *Scheduler) SimulateCtx(ctx context.Context, cfg core.Config, w core.Workload) (*core.Result, error) {
+	rec := obs.Default()
 	if s == nil || s.off || cfg.Recorder != nil {
 		if s != nil {
 			s.bypassed.Add(1)
+			rec.Count(MetricBypassed, 1)
 		}
 		return core.Simulate(cfg, w)
 	}
+	lookup := time.Now()
 	d, err := PointDigest(cfg, w)
 	if err != nil {
 		// An undigestable point (nil graph/program) still gets core's
 		// real validation error from a direct execution.
 		s.bypassed.Add(1)
+		rec.Count(MetricBypassed, 1)
 		return core.Simulate(cfg, w)
 	}
 	if r, ok := s.results.get(d); ok {
 		s.memHits.Add(1)
+		rec.Count(MetricHits, 1)
+		obs.ObserveSince(rec, MetricLookupSec, lookup)
+		obs.Flight().Record("cache.hit", d.String())
 		return r.(*core.Result), nil
 	}
+	obs.ObserveSince(rec, MetricLookupSec, lookup)
 
 	// Coalesce concurrent submissions of the same digest onto one
 	// execution; followers wait for the leader's outcome.
@@ -139,6 +193,7 @@ func (s *Scheduler) Simulate(cfg core.Config, w core.Workload) (*core.Result, er
 	if f, ok := s.inflight[d]; ok {
 		s.mu.Unlock()
 		s.coalesced.Add(1)
+		rec.Count(MetricCoalesced, 1)
 		<-f.done
 		return f.res, f.err
 	}
@@ -146,7 +201,7 @@ func (s *Scheduler) Simulate(cfg core.Config, w core.Workload) (*core.Result, er
 	s.inflight[d] = f
 	s.mu.Unlock()
 
-	f.res, f.err = s.runPoint(d, cfg, w)
+	f.res, f.err = s.runPoint(ctx, d, cfg, w)
 
 	s.mu.Lock()
 	delete(s.inflight, d)
@@ -156,31 +211,56 @@ func (s *Scheduler) Simulate(cfg core.Config, w core.Workload) (*core.Result, er
 }
 
 // runPoint resolves one digest the slow way: disk, then execution.
-func (s *Scheduler) runPoint(d Digest, cfg core.Config, w core.Workload) (*core.Result, error) {
+func (s *Scheduler) runPoint(ctx context.Context, d Digest, cfg core.Config, w core.Workload) (*core.Result, error) {
+	rec := obs.Default()
 	if s.disk != nil {
 		if r, ok := s.disk.get(d); ok {
 			s.diskHits.Add(1)
+			rec.Count(MetricDiskHits, 1)
+			obs.Flight().Record("cache.disk.hit", d.String())
 			s.results.put(d, r)
 			return r, nil
 		}
 	}
+	obs.Flight().Record("cache.miss", d.String(), "config", cfg.Name, "dataset", w.DatasetName)
+	// The point span: id derived from the digest alone, so the same
+	// point carries the same span id in every run's trace, nested under
+	// the caller's experiment span when one rides in ctx.
+	_, sp := obs.StartSpanWithID(ctx, "point "+d.String(), spanIDFor(d),
+		"digest", d.String(), "config", cfg.Name, "dataset", w.DatasetName)
 	m, err := s.machineFor(d, cfg, w)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		s.errors.Add(1)
+		rec.Count(MetricErrors, 1)
+		obs.Flight().Record("cache.error", d.String(), "err", err.Error())
 		return nil, err
 	}
-	r, err := m.Simulate()
+	exec := time.Now()
+	r, err := m.SimulateTraced(sp)
+	obs.ObserveSince(rec, MetricExecSec, exec)
+	sp.End()
 	if err != nil {
 		s.errors.Add(1)
+		rec.Count(MetricErrors, 1)
+		obs.Flight().Record("cache.error", d.String(), "err", err.Error())
 		return nil, err
 	}
 	s.executed.Add(1)
+	rec.Count(MetricMisses, 1)
 	s.results.put(d, r)
 	if s.disk != nil {
 		// Best-effort: a failed put only costs a future re-execution.
 		_ = s.disk.put(d, r)
 	}
 	return r, nil
+}
+
+// spanIDFor derives the deterministic span id of a point from the
+// leading bytes of its canonical digest.
+func spanIDFor(d Digest) uint64 {
+	return binary.BigEndian.Uint64(d[:8])
 }
 
 // Machine returns the assembled simulator for a point, shared by digest:

@@ -3,9 +3,11 @@ package check
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
 // Options configures a conformance sweep.
@@ -161,7 +163,13 @@ type indexedFailure struct {
 }
 
 // runPoint builds the seed's point and runs every applicable invariant.
+// Each invariant's wall time feeds a labeled histogram
+// ("check.invariant.seconds"|invariant=<name>), so a sweep's slowest
+// invariants are visible on /metrics, and point lifecycle events land in
+// the flight recorder for the timeout dump.
 func runPoint(seed uint64, invs []Invariant, sched *cache.Scheduler) (*pointResult, error) {
+	rec := obs.Default()
+	obs.Flight().Record("check.point.start", strconv.FormatUint(seed, 10))
 	p, err := NewPoint(seed)
 	if err != nil {
 		return nil, fmt.Errorf("check: building point for seed %d: %w", seed, err)
@@ -175,13 +183,19 @@ func runPoint(seed uint64, invs []Invariant, sched *cache.Scheduler) (*pointResu
 		}
 		res.checks++
 		res.runs[j]++
-		if err := inv.Check(p); err != nil {
+		start := time.Now()
+		err := inv.Check(p)
+		obs.ObserveSince(rec, obs.WithLabel("check.invariant.seconds", "invariant", inv.Name), start)
+		if err != nil {
+			obs.Flight().Record("check.invariant.fail", inv.Name,
+				"seed", strconv.FormatUint(seed, 10), "err", err.Error())
 			res.failures = append(res.failures, indexedFailure{
 				Failure:  Failure{Invariant: inv.Name, Seed: seed, Point: p.String(), Err: err},
 				invIndex: j,
 			})
 		}
 	}
+	obs.Flight().Record("check.point.done", strconv.FormatUint(seed, 10))
 	return res, nil
 }
 
@@ -209,6 +223,10 @@ func runPointWithTimeout(seed uint64, invs []Invariant, limit time.Duration, sch
 	case o := <-ch:
 		return o.res, o.err
 	case <-timer.C:
+		obs.Default().Count("check.points.timedout", 1)
+		obs.Flight().Record("check.point.timeout", strconv.FormatUint(seed, 10),
+			"limit", limit.String())
+		obs.DumpFlight("check point timeout at seed " + strconv.FormatUint(seed, 10))
 		return nil, nil
 	}
 }

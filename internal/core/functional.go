@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/algo"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
 )
@@ -151,10 +152,21 @@ func (m *Machine) RunFunctional() (*algo.Result, error) {
 
 // Simulate runs (once; memoized) the cost simulation.
 func (m *Machine) Simulate() (*Result, error) {
+	return m.SimulateTraced(nil)
+}
+
+// SimulateTraced is Simulate with a parent span for the run's
+// per-iteration phase spans (see EmitPhaseSpans): the cache scheduler
+// passes its point span so traces nest run → experiment → point →
+// phase. The parent only matters on the first call — the run is
+// memoized — and a nil parent (or disabled tracing) costs nothing.
+func (m *Machine) SimulateTraced(parent *obs.SpanHandle) (*Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.simRun {
+		m.s.traceParent = parent
 		m.simRes, m.simErr = m.s.run()
+		m.s.traceParent = nil
 		m.simRun = true
 	}
 	return m.simRes, m.simErr

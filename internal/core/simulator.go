@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algo"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/units"
 )
@@ -184,6 +186,11 @@ type machine struct {
 	valueBytes int
 	words      int // 32-bit words per vertex value
 	edgeBanks  int // banks across the edge region (all chips)
+
+	// traceParent, when non-nil during run(), parents the run's
+	// per-iteration phase spans (set by Machine.SimulateTraced; the
+	// cache scheduler passes its point span here).
+	traceParent *obs.SpanHandle
 }
 
 func newSim(cfg Config, w Workload) (*machine, error) {
@@ -588,6 +595,59 @@ func (s *machine) report(rep *energy.Report, d *Detail) {
 		rec.Count("fault.uncorrectable", d.Fault.Uncorrectable)
 		rec.Count("fault.silent", d.Fault.Silent)
 		rec.Count("mem.banks_remapped", d.Fault.BanksRemapped)
+	}
+	s.emitPhaseSpans(d)
+}
+
+// maxTracedIterations caps the per-iteration phase spans one run emits:
+// past this the trace adds repetition, not information (the model's
+// per-iteration split is uniform), and a pathological iteration count
+// must not monopolize the bounded trace ring.
+const maxTracedIterations = 32
+
+// emitPhaseSpans reconstructs the run's Algorithm 2 timeline as
+// simulated-timebase spans — load/process/writeback/overhead per
+// iteration, sequential from t=0 — parented under the scheduler's point
+// span (or a fresh root for direct core.Simulate callers), so a span
+// trace nests run → experiment → point → phase. Free when tracing is
+// disabled.
+func (s *machine) emitPhaseSpans(d *Detail) {
+	if !obs.TracingEnabled() {
+		return
+	}
+	parent := s.traceParent
+	track := "sim " + s.cfg.Name + "/" + s.w.DatasetName
+	if parent == nil {
+		var root *obs.SpanHandle
+		_, root = obs.StartSpan(context.Background(), track,
+			"config", s.cfg.Name, "dataset", s.w.DatasetName)
+		defer root.End()
+		parent = root
+	}
+	phases := [4]struct {
+		name string
+		dur  units.Time
+	}{
+		{"load", d.LoadTime},
+		{"process", d.ProcessTime},
+		{"writeback", d.WritebackTime},
+		{"overhead", d.OverheadTime},
+	}
+	iters := d.Iterations
+	if iters > maxTracedIterations {
+		parent.SetAttr("iterations_traced",
+			fmt.Sprintf("%d of %d", maxTracedIterations, iters))
+		iters = maxTracedIterations
+	}
+	var t units.Time
+	for it := 0; it < iters; it++ {
+		for _, ph := range phases {
+			if ph.dur <= 0 {
+				continue
+			}
+			obs.AddSimSpan(parent, track, ph.name, t, ph.dur)
+			t += ph.dur
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -49,6 +50,12 @@ type Options struct {
 	// reuse entirely. Results a runner receives may be shared with
 	// other runners and must be treated as read-only.
 	Cache *cache.Scheduler
+	// Ctx, when non-nil, carries the driver's span context: simulation
+	// points submitted through the run inherit it, so point spans nest
+	// under the driver's run/experiment spans when tracing is enabled
+	// (see obs.StartSpan). It does not cancel anything — executions run
+	// to completion — and is deliberately excluded from OptionsDigest.
+	Ctx context.Context
 }
 
 // defaultCache is the process-wide scheduler used when a driver does not
@@ -70,7 +77,11 @@ func (o Options) cacheFor() *cache.Scheduler {
 // "identical points execute exactly once" a property of the suite
 // rather than of each runner.
 func (o Options) simulate(cfg core.Config, wl core.Workload) (*core.Result, error) {
-	return o.cacheFor().Simulate(cfg, wl)
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return o.cacheFor().SimulateCtx(ctx, cfg, wl)
 }
 
 // NewRunArtifact builds the artifact shell for one experiment run,

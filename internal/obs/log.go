@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A small leveled logfmt logger for the CLI drivers: one line per
+// event, `ts=<RFC3339> level=<level> msg=<event> k=v ...`, so service
+// logs are grep- and parse-stable (every field is addressable by key,
+// no free-form sentences to drift). Deliberately minimal: no logger
+// hierarchy, no hooks — drivers make one and pass it down.
+
+// Level orders log severities.
+type Level int8
+
+// Levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel resolves a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Logger writes leveled logfmt lines. A nil *Logger discards
+// everything, so call sites never branch.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	now func() time.Time // test seam; nil means time.Now
+}
+
+// NewLogger returns a logger writing events at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min}
+}
+
+// Debug logs at debug level; kv are alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+// Enabled reports whether events at lv would be written.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(now().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(logfmtValue(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(fmt.Sprint(kv[i]))
+		b.WriteByte('=')
+		b.WriteString(logfmtValue(formatLogValue(kv[i+1])))
+	}
+	if len(kv)%2 == 1 {
+		b.WriteString(" !odd-kv=")
+		b.WriteString(logfmtValue(formatLogValue(kv[len(kv)-1])))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// formatLogValue renders common value types compactly.
+func formatLogValue(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case time.Duration:
+		return x.String()
+	case float64:
+		return strconv.FormatFloat(x, 'g', 4, 64)
+	case error:
+		return x.Error()
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// logfmtValue quotes a value when it contains logfmt metacharacters.
+func logfmtValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

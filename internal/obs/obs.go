@@ -107,6 +107,7 @@ type Registry struct {
 	phases   map[string]units.Time
 	energies map[string]units.Energy
 	timers   map[string]time.Duration
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty Registry.
@@ -117,6 +118,7 @@ func NewRegistry() *Registry {
 		phases:   map[string]units.Time{},
 		energies: map[string]units.Energy{},
 		timers:   map[string]time.Duration{},
+		hists:    map[string]*Histogram{},
 	}
 }
 
@@ -190,11 +192,12 @@ func (r *Registry) Energy(name string) units.Energy {
 // Snapshot is a point-in-time copy of a Registry, every section sorted
 // by name for deterministic rendering.
 type Snapshot struct {
-	Counters []CounterValue `json:"counters,omitempty"`
-	Gauges   []GaugeSample  `json:"gauges,omitempty"`
-	Phases   []PhaseSample  `json:"phases,omitempty"`
-	Energies []EnergySample `json:"energies,omitempty"`
-	Timers   []TimerSample  `json:"timers,omitempty"`
+	Counters   []CounterValue    `json:"counters,omitempty"`
+	Gauges     []GaugeSample     `json:"gauges,omitempty"`
+	Phases     []PhaseSample     `json:"phases,omitempty"`
+	Energies   []EnergySample    `json:"energies,omitempty"`
+	Timers     []TimerSample     `json:"timers,omitempty"`
+	Histograms []HistogramSample `json:"histograms,omitempty"`
 }
 
 // CounterValue is one counter in a Snapshot.
@@ -247,10 +250,74 @@ func (r *Registry) Snapshot() Snapshot {
 	for n, v := range r.timers {
 		s.Timers = append(s.Timers, TimerSample{n, v.Seconds()})
 	}
+	for n, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.Sample(n))
+	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Name < s.Phases[j].Name })
 	sort.Slice(s.Energies, func(i, j int) bool { return s.Energies[i].Name < s.Energies[j].Name })
 	sort.Slice(s.Timers, func(i, j int) bool { return s.Timers[i].Name < s.Timers[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
 	return s
+}
+
+// Multi fans every recording out to each of rs (nil entries skipped).
+// Histogram observations reach the recorders that implement
+// HistogramRecorder. hyve-bench uses it to feed the expvar bridge and
+// the Prometheus registry from one process-global Recorder.
+func Multi(rs ...Recorder) Recorder {
+	var out multiRecorder
+	for _, r := range rs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+type multiRecorder []Recorder
+
+func (m multiRecorder) Count(name string, delta int64) {
+	for _, r := range m {
+		r.Count(name, delta)
+	}
+}
+
+func (m multiRecorder) Gauge(name string, v float64) {
+	for _, r := range m {
+		r.Gauge(name, v)
+	}
+}
+
+func (m multiRecorder) PhaseTime(phase string, t units.Time) {
+	for _, r := range m {
+		r.PhaseTime(phase, t)
+	}
+}
+
+func (m multiRecorder) PhaseEnergy(component string, e units.Energy) {
+	for _, r := range m {
+		r.PhaseEnergy(component, e)
+	}
+}
+
+func (m multiRecorder) Timer(name string) func() {
+	stops := make([]func(), len(m))
+	for i, r := range m {
+		stops[i] = r.Timer(name)
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// Observe implements HistogramRecorder, forwarding to the members that
+// accept histograms.
+func (m multiRecorder) Observe(name string, v float64) {
+	for _, r := range m {
+		Observe(r, name, v)
+	}
 }

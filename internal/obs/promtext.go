@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format parsing and linting: enough of the 0.0.4
+// format for hyve-top to render a live view of a /metrics endpoint and
+// for the obs-smoke gate to prove the exposition is well-formed —
+// HELP/TYPE present, histogram buckets monotone with a closing +Inf,
+// no duplicate series.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the sample's metric name as written (including _bucket /
+	// _sum / _count suffixes).
+	Name string
+	// Labels maps label name → unquoted value ("le" included).
+	Labels map[string]string
+	// Value is the sample value (+Inf/-Inf/NaN supported).
+	Value float64
+}
+
+// Label returns a label value ("" when absent).
+func (s PromSample) Label(k string) string { return s.Labels[k] }
+
+// PromDoc is a parsed exposition document.
+type PromDoc struct {
+	// Types maps family name → declared TYPE.
+	Types map[string]string
+	// Helped records families with a HELP line.
+	Helped map[string]bool
+	// Samples holds every sample line in document order.
+	Samples []PromSample
+}
+
+// Family strips the histogram sample suffixes off a sample name,
+// returning the family the TYPE/HELP lines declare.
+func (d *PromDoc) Family(sampleName string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sampleName, suf)
+		if base != sampleName && d.Types[base] == "histogram" {
+			return base
+		}
+	}
+	return sampleName
+}
+
+// Value returns the value of the sample with the given name and no
+// labels (false when absent).
+func (d *PromDoc) Value(name string) (float64, bool) {
+	for _, s := range d.Samples {
+		if s.Name == name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SamplesNamed returns every sample with the given name, in order.
+func (d *PromDoc) SamplesNamed(name string) []PromSample {
+	var out []PromSample
+	for _, s := range d.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ParseProm parses a text exposition document. It is strict about line
+// shape (a malformed line is an error, not a skip) but does not
+// validate cross-line invariants; LintProm does that.
+func ParseProm(r io.Reader) (*PromDoc, error) {
+	doc := &PromDoc{Types: map[string]string{}, Helped: map[string]bool{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return nil, fmt.Errorf("prom: line %d: TYPE without a type: %q", lineNo, line)
+					}
+					doc.Types[fields[2]] = fields[3]
+				} else {
+					doc.Helped[fields[2]] = true
+				}
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", lineNo, err)
+		}
+		doc.Samples = append(doc.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prom: reading exposition: %w", err)
+	}
+	return doc, nil
+}
+
+// parsePromSample parses `name{l="v",...} value [timestamp]`.
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return s, fmt.Errorf("sample without a value: %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name: %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set: %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp] after name, got %q", strings.TrimSpace(rest))
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	for body != "" {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(body[:eq])
+		body = body[eq+1:]
+		if !strings.HasPrefix(body, `"`) {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		// Scan the quoted value honoring \" escapes.
+		i := 1
+		var val strings.Builder
+		for ; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(body) {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		labels[key] = val.String()
+		body = strings.TrimPrefix(strings.TrimSpace(body[i+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	return labels, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// LintProm parses and cross-validates an exposition document: every
+// sample's family must carry HELP and TYPE lines, no series (name plus
+// full label set) may appear twice, and every histogram labelset must
+// have monotone non-decreasing cumulative buckets ending in le="+Inf"
+// whose count equals the _count sample. It returns the parsed document
+// plus every violation found (an unparseable document is one violation).
+func LintProm(r io.Reader) (*PromDoc, []error) {
+	doc, err := ParseProm(r)
+	if err != nil {
+		return nil, []error{err}
+	}
+	var errs []error
+	seen := map[string]bool{}
+	for _, s := range doc.Samples {
+		fam := doc.Family(s.Name)
+		if _, ok := doc.Types[fam]; !ok {
+			errs = append(errs, fmt.Errorf("series %s: family %s has no TYPE line", s.Name, fam))
+		}
+		if !doc.Helped[fam] {
+			errs = append(errs, fmt.Errorf("series %s: family %s has no HELP line", s.Name, fam))
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			errs = append(errs, fmt.Errorf("duplicate series %s", key))
+		}
+		seen[key] = true
+	}
+	// Histogram structure per family per non-le labelset.
+	type histAcc struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	hists := map[string]*histAcc{}
+	hkey := func(fam string, labels map[string]string) string {
+		pairs := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				pairs = append(pairs, k+"="+v)
+			}
+		}
+		sort.Strings(pairs)
+		return fam + "{" + strings.Join(pairs, ",") + "}"
+	}
+	get := func(fam string, labels map[string]string) *histAcc {
+		k := hkey(fam, labels)
+		h, ok := hists[k]
+		if !ok {
+			h = &histAcc{}
+			hists[k] = h
+		}
+		return h
+	}
+	for _, s := range doc.Samples {
+		fam := doc.Family(s.Name)
+		if doc.Types[fam] != "histogram" {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			h := get(fam, s.Labels)
+			le, err := parsePromValue(s.Label("le"))
+			if err != nil || s.Label("le") == "" {
+				errs = append(errs, fmt.Errorf("histogram %s: bucket without a valid le label", fam))
+				continue
+			}
+			h.les = append(h.les, le)
+			h.counts = append(h.counts, s.Value)
+		case strings.HasSuffix(s.Name, "_count"):
+			h := get(fam, s.Labels)
+			h.count, h.hasCnt = s.Value, true
+		}
+	}
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hists[k]
+		if len(h.les) == 0 {
+			continue // a labelset seen only via _count/_sum
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				errs = append(errs, fmt.Errorf("histogram %s: le buckets out of ascending order", k))
+			}
+			if h.counts[i] < h.counts[i-1] {
+				errs = append(errs, fmt.Errorf("histogram %s: cumulative bucket counts decrease", k))
+			}
+		}
+		last := len(h.les) - 1
+		if !math.IsInf(h.les[last], 1) {
+			errs = append(errs, fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", k))
+		} else if h.hasCnt && h.counts[last] != h.count {
+			errs = append(errs, fmt.Errorf("histogram %s: +Inf bucket %g != count %g", k, h.counts[last], h.count))
+		}
+	}
+	return doc, errs
+}
+
+func seriesKey(s PromSample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	pairs := make([]string, 0, len(s.Labels))
+	for k, v := range s.Labels {
+		pairs = append(pairs, k+"="+strconv.Quote(v))
+	}
+	sort.Strings(pairs)
+	return s.Name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// HistQuantile estimates quantile q from parsed _bucket samples of one
+// histogram labelset (cumulative counts, any order; le read from the
+// label) — hyve-top's percentile source.
+func HistQuantile(buckets []PromSample, q float64) float64 {
+	pts := make([]BucketCount, 0, len(buckets))
+	for _, b := range buckets {
+		le, err := parsePromValue(b.Label("le"))
+		if err != nil {
+			continue
+		}
+		pts = append(pts, BucketCount{LE: le, Count: uint64(b.Value)})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].LE < pts[j].LE })
+	if len(pts) == 0 {
+		return 0
+	}
+	return quantileFromBuckets(pts, pts[len(pts)-1].Count, q)
+}

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -75,6 +77,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 }
 
 // ForEachOpt is ForEach with an explicit resilience policy.
+//
+// The pool is instrumented: point execution latencies and
+// pool-start-to-point-start queue waits feed log-bucketed histograms
+// ("parallel.point.exec.seconds", "parallel.point.queue.seconds"), each
+// worker publishes its busy fraction as a labeled utilization gauge
+// when its pool drains, and a recovered panic lands in the flight
+// recorder and triggers an automatic flight dump (if a driver installed
+// a dump writer). All of it goes through obs.Default(), so an
+// unobserved process pays only no-op interface calls.
 func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -84,32 +95,57 @@ func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
 		w = n
 	}
 	rec := obs.Default()
+	rec.Gauge("parallel.workers", float64(w))
+	poolStart := time.Now()
 	attempt := func(i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				rec.Count("parallel.points.panicked", 1)
+				obs.Flight().Record("parallel.point.panicked", strconv.Itoa(i),
+					"value", fmt.Sprint(r))
+				obs.DumpFlight("worker panic at point " + strconv.Itoa(i))
 				err = &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
 			}
 		}()
 		return fn(i)
 	}
 	point := func(i int) error {
+		obs.Observe(rec, "parallel.point.queue.seconds", time.Since(poolStart).Seconds())
 		rec.Count("parallel.points.inflight", 1)
+		start := time.Now()
 		err := attempt(i)
 		for r := 0; err != nil && r < opt.Retries; r++ {
 			rec.Count("parallel.points.retried", 1)
 			err = attempt(i)
 		}
+		obs.ObserveSince(rec, "parallel.point.exec.seconds", start)
 		rec.Count("parallel.points.inflight", -1)
 		rec.Count("parallel.points.completed", 1)
 		return err
 	}
+	// utilization publishes worker k's busy fraction over the pool's
+	// lifetime as a labeled gauge (last pool wins — the live view
+	// tracks the most recent fan-out).
+	utilization := func(k int, busy time.Duration) {
+		wall := time.Since(poolStart)
+		if wall <= 0 {
+			return
+		}
+		rec.Gauge(obs.WithLabel("parallel.worker.utilization", "worker", strconv.Itoa(k)),
+			busy.Seconds()/wall.Seconds())
+	}
 	if w <= 1 {
+		var busy time.Duration
 		for i := 0; i < n; i++ {
-			if err := point(i); err != nil {
+			t0 := time.Now()
+			err := point(i)
+			busy += time.Since(t0)
+			if err != nil {
+				utilization(0, busy)
 				return err
 			}
 		}
+		utilization(0, busy)
 		return nil
 	}
 
@@ -122,14 +158,19 @@ func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
 	)
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
+			var busy time.Duration
+			defer func() { utilization(k, busy) }()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := point(i); err != nil {
+				t0 := time.Now()
+				err := point(i)
+				busy += time.Since(t0)
+				if err != nil {
 					mu.Lock()
 					if i < firstIdx {
 						firstIdx, firstErr = i, err
@@ -137,7 +178,7 @@ func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 	return firstErr
