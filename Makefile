@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke fault-smoke cache-smoke obs-smoke check
+.PHONY: all build test vet race bench bench-json bench-smoke fault-smoke cache-smoke obs-smoke serve-smoke check
 
 # The committed benchmark artifact for this PR; bump per PR so the repo
 # accumulates a benchstat-style history (compare two with
@@ -76,6 +76,40 @@ obs-smoke:
 	wait $$BENCH_PID || { echo "obs-smoke: bench run failed"; exit 1; }; \
 	exit $$LINT
 	@echo obs-smoke: exposition valid and complete
+
+# serve-smoke is the simulation service's end-to-end gate: start
+# hyve-serve, submit a point and a small sweep over HTTP, and require
+# (1) the served point body to be byte-identical to a direct
+# `hyve-sim -result` run of the same point — cache-hit identity extended
+# to the wire, (2) the sweep stream to finish with a clean done event,
+# (3) the /metrics exposition to lint clean with every hyve_serve_*
+# family present, and (4) SIGTERM to drain with exit status 0.
+SERVE_SMOKE_ADDR ?= 127.0.0.1:8093
+SERVE_SMOKE_DIR ?= /tmp/hyve-serve-smoke
+serve-smoke:
+	rm -rf $(SERVE_SMOKE_DIR) && mkdir -p $(SERVE_SMOKE_DIR)
+	$(GO) build -o $(SERVE_SMOKE_DIR)/hyve-serve ./cmd/hyve-serve
+	$(GO) build -o $(SERVE_SMOKE_DIR)/hyve-sim ./cmd/hyve-sim
+	$(GO) build -o $(SERVE_SMOKE_DIR)/hyve-top ./cmd/hyve-top
+	set -e; \
+	$(SERVE_SMOKE_DIR)/hyve-serve -addr $(SERVE_SMOKE_ADDR) -cache-dir $(SERVE_SMOKE_DIR)/store & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 150); do \
+		curl -fsS http://$(SERVE_SMOKE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -fsS -X POST -d '{"dataset":"YT","algo":"PR","config":"sd"}' \
+		http://$(SERVE_SMOKE_ADDR)/point -o $(SERVE_SMOKE_DIR)/served.json; \
+	$(SERVE_SMOKE_DIR)/hyve-sim -dataset YT -algo PR -config sd -result > $(SERVE_SMOKE_DIR)/direct.json; \
+	cmp $(SERVE_SMOKE_DIR)/served.json $(SERVE_SMOKE_DIR)/direct.json; \
+	curl -fsS -X POST -d '{"datasets":["YT"],"algos":["PR","BFS"],"configs":["sd"]}' \
+		http://$(SERVE_SMOKE_ADDR)/sweep -o $(SERVE_SMOKE_DIR)/sweep.ndjson; \
+	grep -q '"event":"done"' $(SERVE_SMOKE_DIR)/sweep.ndjson; \
+	! grep -q '"event":"error"' $(SERVE_SMOKE_DIR)/sweep.ndjson; \
+	$(SERVE_SMOKE_DIR)/hyve-top -lint -wait 30s -url http://$(SERVE_SMOKE_ADDR)/metrics \
+		-require hyve_serve_requests_admitted_total,hyve_serve_points_served_total,hyve_serve_request_seconds,hyve_serve_inflight,hyve_cache_hits_total; \
+	kill -TERM $$SERVE_PID; \
+	wait $$SERVE_PID
+	@echo serve-smoke: served bytes identical to direct simulation, metrics clean, drain clean
 
 # fault-smoke drives the resilience layer end to end in bounded time:
 # the reliability experiment (BER sweep, SECDED accounting, bank

@@ -50,14 +50,15 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -96,21 +97,17 @@ func main() {
 	}
 
 	if *pprof != "" {
-		// Route the process-global recorder into both the expvar map
-		// (/debug/vars) and the Prometheus registry (/metrics), enable
-		// span tracing, and serve the flight recorder — the full
-		// introspection surface on one address.
-		obs.SetDefault(obs.Multi(obs.Expvar(), obs.Metrics()))
-		obs.EnableTracing(0)
-		cache.RegisterMetrics(obs.Default())
-		http.Handle("/metrics", obs.Metrics().PromHandler())
-		http.Handle("/debug/flight", obs.FlightHandler())
-		http.Handle("/debug/trace", obs.TraceHandler())
+		// The full introspection surface — /metrics, pprof, expvar,
+		// flight recorder, span trace — on one properly configured server
+		// (header timeouts, explicit mux, graceful shutdown on exit), not
+		// a bare ListenAndServe on the default mux.
+		srv := serve.DebugServer(*pprof)
 		go func() {
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Error("pprof.server", "err", err)
 			}
 		}()
+		defer serve.ShutdownServer(srv, 5*time.Second)
 		log.Info("observability.listening", "addr", *pprof,
 			"endpoints", "/metrics /debug/pprof /debug/vars /debug/flight /debug/trace")
 	}

@@ -35,13 +35,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/check"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -81,17 +81,15 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	if *pprof != "" {
-		obs.SetDefault(obs.Multi(obs.Expvar(), obs.Metrics()))
-		obs.EnableTracing(0)
-		cache.RegisterMetrics(obs.Default())
-		http.Handle("/metrics", obs.Metrics().PromHandler())
-		http.Handle("/debug/flight", obs.FlightHandler())
-		http.Handle("/debug/trace", obs.TraceHandler())
+		// Configured server with header timeouts and a shutdown path,
+		// replacing the old bare ListenAndServe on the default mux.
+		srv := serve.DebugServer(*pprof)
 		go func() {
-			if err := http.ListenAndServe(*pprof, nil); err != nil {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(errOut, "hyve-check: pprof server:", err)
 			}
 		}()
+		defer serve.ShutdownServer(srv, 5*time.Second)
 	}
 
 	var sched *cache.Scheduler // nil = per-sweep in-memory default

@@ -8,6 +8,14 @@
 //	hyve-sim -dataset TW -algo BFS -config sd -sram 4
 //	hyve-sim -dataset YT,WK,LJ -algo PR,BFS -config hyve-opt,sd
 //	hyve-sim -dataset YT -algo PR -config hyve-opt -json
+//	hyve-sim -dataset YT -algo PR -config hyve-opt -result
+//
+// -result emits each point as its canonical hyve/result/v1 document —
+// the exact bytes the result cache stores and hyve-serve returns for
+// the same point, so `hyve-sim -result` output can be compared
+// byte-for-byte against a served response (the serve-smoke CI gate does
+// exactly that). It covers the five core configurations; the analytic
+// graphr/cpu baselines have no result document.
 //
 // A sweep (more than one point) fans the points across a worker pool
 // (-parallel, default GOMAXPROCS), buffers each point's report, and
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpusim"
 	"repro/internal/energy"
@@ -43,16 +52,39 @@ func main() {
 		sramMB  = flag.Int64("sram", 2, "per-PU on-chip vertex memory in MB (accelerator configs)")
 		verbose = flag.Bool("v", false, "print per-phase detail")
 		par     = flag.Int("parallel", 0, "worker count for sweep points (0 = GOMAXPROCS, 1 = serial)")
-		jsonOut = flag.Bool("json", false, "emit one canonical JSON document per point instead of text")
+		jsonOut = flag.Bool("json", false, "emit one canonical JSON artifact document per point instead of text")
+		result  = flag.Bool("result", false, "emit each point's canonical hyve/result/v1 document (the result-cache and hyve-serve wire format)")
 	)
 	flag.Parse()
 
+	if *jsonOut && *result {
+		fmt.Fprintln(os.Stderr, "hyve-sim: -json and -result are mutually exclusive")
+		os.Exit(1)
+	}
+	mode := modeText
+	switch {
+	case *jsonOut:
+		mode = modeArtifact
+	case *result:
+		mode = modeResult
+	}
 	if err := runSweep(os.Stdout, os.Stderr, splitList(*dataset), splitList(*algon), splitList(*config),
-		*sramMB, *verbose, *jsonOut, *par); err != nil {
+		*sramMB, *verbose, mode, *par); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
+
+// outputMode selects what runOne writes per point: the human report,
+// the artifact document (-json), or the canonical result document
+// (-result).
+type outputMode int
+
+const (
+	modeText outputMode = iota
+	modeArtifact
+	modeResult
+)
 
 // splitList parses a comma-separated flag value, dropping empty items so
 // "YT," and "YT" mean the same thing.
@@ -72,13 +104,13 @@ func splitList(s string) []string {
 // in order, closing with an aggregate-vs-wall-clock speedup line on
 // progress (stderr in the binary) so w stays pipeable — in particular,
 // -json output on w is a clean concatenation of JSON documents.
-func runSweep(w, progress io.Writer, datasets, algos, configs []string, sramMB int64, verbose, jsonOut bool, par int) error {
+func runSweep(w, progress io.Writer, datasets, algos, configs []string, sramMB int64, verbose bool, mode outputMode, par int) error {
 	if len(datasets) == 0 || len(algos) == 0 || len(configs) == 0 {
 		return fmt.Errorf("hyve-sim: -dataset, -algo, and -config must each name at least one value")
 	}
 	n := len(datasets) * len(algos) * len(configs)
 	if n == 1 {
-		return runOne(w, datasets[0], algos[0], configs[0], sramMB, verbose, jsonOut)
+		return runOne(w, datasets[0], algos[0], configs[0], sramMB, verbose, mode)
 	}
 
 	point := func(i int) (dataset, algon, config string) {
@@ -96,7 +128,7 @@ func runSweep(w, progress io.Writer, datasets, algos, configs []string, sramMB i
 	err := parallel.ForEach(workers, n, func(i int) error {
 		d, a, c := point(i)
 		t0 := time.Now()
-		if err := runOne(&bufs[i], d, a, c, sramMB, verbose, jsonOut); err != nil {
+		if err := runOne(&bufs[i], d, a, c, sramMB, verbose, mode); err != nil {
 			return fmt.Errorf("%s/%s/%s: %w", d, a, c, err)
 		}
 		elapsed[i] = time.Since(t0)
@@ -109,7 +141,7 @@ func runSweep(w, progress io.Writer, datasets, algos, configs []string, sramMB i
 	var aggregate time.Duration
 	for i := 0; i < n; i++ {
 		d, a, c := point(i)
-		if !jsonOut {
+		if mode == modeText {
 			if i > 0 {
 				fmt.Fprintln(w)
 			}
@@ -127,7 +159,7 @@ func runSweep(w, progress io.Writer, datasets, algos, configs []string, sramMB i
 	return err
 }
 
-func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose, jsonOut bool) error {
+func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose bool, mode outputMode) error {
 	d, err := graph.DatasetByName(dataset)
 	if err != nil {
 		return err
@@ -140,7 +172,7 @@ func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose, j
 	if err != nil {
 		return err
 	}
-	if !jsonOut {
+	if mode == modeText {
 		fmt.Fprintf(w, "dataset %s (%s): %d vertices, %d edges (full scale %d/%d, 1/%d instance)\n",
 			d.Name, d.Long, wl.Graph.NumVertices, wl.Graph.NumEdges(), d.FullVertices, d.FullEdges, d.Scale)
 	}
@@ -149,19 +181,28 @@ func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose, j
 	var detail *core.Detail
 	switch config {
 	case "graphr":
+		if mode == modeResult {
+			return fmt.Errorf("hyve-sim: -result needs a core configuration; %q has no canonical result document", config)
+		}
 		r, err := graphr.Simulate(graphr.Default(), wl)
 		if err != nil {
 			return err
 		}
 		rep = &r.Report
-		if !jsonOut {
+		if mode == modeText {
 			fmt.Fprintf(w, "GraphR: %d non-empty 8×8 blocks, Navg %.2f\n", r.Detail.NonEmptyBlocks, r.Detail.Navg)
 		}
 	case "cpu":
+		if mode == modeResult {
+			return fmt.Errorf("hyve-sim: -result needs a core configuration; %q has no canonical result document", config)
+		}
 		if rep, err = cpusim.Simulate(cpusim.NXgraph(), wl); err != nil {
 			return err
 		}
 	case "cpu-opt":
+		if mode == modeResult {
+			return fmt.Errorf("hyve-sim: -result needs a core configuration; %q has no canonical result document", config)
+		}
 		if rep, err = cpusim.Simulate(cpusim.Galois(), wl); err != nil {
 			return err
 		}
@@ -177,11 +218,22 @@ func runOne(w io.Writer, dataset, algon, config string, sramMB int64, verbose, j
 		if err != nil {
 			return err
 		}
+		if mode == modeResult {
+			// The exact canonical document the result cache stores and
+			// hyve-serve returns: byte-for-byte comparable across the
+			// CLI, the store, and the wire.
+			payload, err := cache.EncodeResult(r)
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(payload)
+			return err
+		}
 		rep = &r.Report
 		detail = &r.Detail
 	}
 
-	if jsonOut {
+	if mode == modeArtifact {
 		return writeJSONPoint(w, d, config, rep, detail)
 	}
 

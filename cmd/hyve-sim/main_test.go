@@ -7,6 +7,11 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/graph"
 )
 
 func TestAccConfig(t *testing.T) {
@@ -47,14 +52,14 @@ func TestRunOneSmokesEveryConfig(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	for _, config := range []string{"hyve-opt", "sd", "graphr", "cpu", "cpu-opt"} {
-		if err := runOne(io.Discard, "YT", "PR", config, 2, true, false); err != nil {
+		if err := runOne(io.Discard, "YT", "PR", config, 2, true, modeText); err != nil {
 			t.Errorf("runOne(YT, PR, %s): %v", config, err)
 		}
 	}
-	if err := runOne(io.Discard, "nope", "PR", "hyve", 2, false, false); err == nil {
+	if err := runOne(io.Discard, "nope", "PR", "hyve", 2, false, modeText); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := runOne(io.Discard, "YT", "nope", "hyve", 2, false, false); err == nil {
+	if err := runOne(io.Discard, "YT", "nope", "hyve", 2, false, modeText); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -67,7 +72,7 @@ func TestRunOneJSON(t *testing.T) {
 	}
 	for _, config := range []string{"hyve-opt", "graphr"} {
 		var buf bytes.Buffer
-		if err := runOne(&buf, "YT", "PR", config, 2, false, true); err != nil {
+		if err := runOne(&buf, "YT", "PR", config, 2, false, modeArtifact); err != nil {
 			t.Fatalf("runOne(YT, PR, %s, json): %v", config, err)
 		}
 		var doc struct {
@@ -96,6 +101,48 @@ func TestRunOneJSON(t *testing.T) {
 	}
 }
 
+// TestRunOneResult checks -result emits exactly the canonical
+// hyve/result/v1 document of a direct core.Simulate — the byte-identity
+// the serve-smoke gate compares against hyve-serve responses.
+func TestRunOneResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	var buf bytes.Buffer
+	if err := runOne(&buf, "YT", "PR", "sd", 2, false, modeResult); err != nil {
+		t.Fatalf("runOne(YT, PR, sd, result): %v", err)
+	}
+	d, err := graph.DatasetByName("YT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := algo.ByName("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := core.WorkloadFor(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(core.SRAMDRAM(), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cache.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-result output is not the canonical document:\ngot  %.120s\nwant %.120s", buf.Bytes(), want)
+	}
+	if _, err := cache.DecodeResult(buf.Bytes()); err != nil {
+		t.Errorf("-result output does not decode: %v", err)
+	}
+	if err := runOne(io.Discard, "YT", "PR", "graphr", 2, false, modeResult); err == nil {
+		t.Error("-result accepted a baseline config with no canonical document")
+	}
+}
+
 // TestRunSweepDeterministic checks the sweep contract: a multi-point run
 // emits every point in dataset-major order and produces the same
 // per-point bytes at one worker and many.
@@ -107,10 +154,10 @@ func TestRunSweepDeterministic(t *testing.T) {
 	algos := []string{"PR", "BFS"}
 	configs := []string{"hyve-opt", "sd"}
 	var serial, par, serialProg, parProg bytes.Buffer
-	if err := runSweep(&serial, &serialProg, datasets, algos, configs, 2, false, false, -1); err != nil {
+	if err := runSweep(&serial, &serialProg, datasets, algos, configs, 2, false, modeText, -1); err != nil {
 		t.Fatalf("serial sweep: %v", err)
 	}
-	if err := runSweep(&par, &parProg, datasets, algos, configs, 2, false, false, 8); err != nil {
+	if err := runSweep(&par, &parProg, datasets, algos, configs, 2, false, modeText, 8); err != nil {
 		t.Fatalf("parallel sweep: %v", err)
 	}
 	// With the summary line routed to the progress writer, stdout must be
@@ -149,17 +196,17 @@ func TestRunSweepSinglePointUnchanged(t *testing.T) {
 		t.Skip("simulation smoke test")
 	}
 	var single, direct bytes.Buffer
-	if err := runSweep(&single, io.Discard, []string{"YT"}, []string{"PR"}, []string{"hyve-opt"}, 2, false, false, 8); err != nil {
+	if err := runSweep(&single, io.Discard, []string{"YT"}, []string{"PR"}, []string{"hyve-opt"}, 2, false, modeText, 8); err != nil {
 		t.Fatalf("single-point sweep: %v", err)
 	}
-	if err := runOne(&direct, "YT", "PR", "hyve-opt", 2, false, false); err != nil {
+	if err := runOne(&direct, "YT", "PR", "hyve-opt", 2, false, modeText); err != nil {
 		t.Fatalf("runOne: %v", err)
 	}
 	if single.String() != direct.String() {
 		t.Errorf("single-point sweep output differs from direct runOne:\n--- sweep ---\n%s\n--- direct ---\n%s",
 			single.String(), direct.String())
 	}
-	if err := runSweep(io.Discard, io.Discard, nil, []string{"PR"}, []string{"hyve"}, 2, false, false, 0); err == nil {
+	if err := runSweep(io.Discard, io.Discard, nil, []string{"PR"}, []string{"hyve"}, 2, false, modeText, 0); err == nil {
 		t.Error("empty dataset list accepted")
 	}
 }

@@ -221,12 +221,52 @@ func render(w io.Writer, doc, prev *obs.PromDoc, dt time.Duration) {
 		fmt.Fprintf(w, "sweep     %.0f/%.0f experiments %s %3.0f%%", done, expTotal,
 			bar(done/expTotal, 20), 100*done/expTotal)
 		if prev != nil && dt > 0 {
+			// The progress numerator counts completed AND reused
+			// experiments, so the rate must too: a -resume run that
+			// reuses most artifacts would otherwise show a near-zero
+			// rate and a wildly inflated ETA.
 			pd, _ := prev.Value("hyve_bench_experiments_completed_total")
-			if r := (expDone - pd) / dt.Seconds(); r > 0 && expTotal > done {
+			pr, _ := prev.Value("hyve_bench_experiments_reused_total")
+			if r := (done - (pd + pr)) / dt.Seconds(); r > 0 && expTotal > done {
 				fmt.Fprintf(w, "   ETA %s", (time.Duration((expTotal-done)/r) * time.Second).Round(time.Second))
 			}
 		}
 		fmt.Fprintln(w)
+	}
+
+	renderServe(w, doc, prev, dt)
+}
+
+// renderServe draws the hyve-serve panel when the scraped process
+// exposes the hyve_serve_* families (a hyve-bench scrape has none, so
+// the panel stays hidden).
+func renderServe(w io.Writer, doc, prev *obs.PromDoc, dt time.Duration) {
+	admitted, okA := doc.Value("hyve_serve_requests_admitted_total")
+	rejected, okR := doc.Value("hyve_serve_requests_rejected_total")
+	if !okA && !okR {
+		return
+	}
+	inflight, _ := doc.Value("hyve_serve_inflight")
+	brRejected, _ := doc.Value("hyve_serve_breaker_rejected_total")
+	brOpen, _ := doc.Value("hyve_serve_breaker_open")
+	points, _ := doc.Value("hyve_serve_points_served_total")
+	fmt.Fprintf(w, "serve     %.0f admitted   %.0f rejected   %.0f breaker-rejected   %.0f in flight   %.0f points",
+		admitted, rejected, brRejected, inflight, points)
+	if prev != nil && dt > 0 {
+		pa, _ := prev.Value("hyve_serve_requests_admitted_total")
+		if r := (admitted - pa) / dt.Seconds(); r > 0 {
+			fmt.Fprintf(w, "   %5.1f req/s", r)
+		}
+	}
+	fmt.Fprintln(w)
+	if brOpen > 0 {
+		fmt.Fprintf(w, "          ⚠ %.0f circuit breaker(s) open\n", brOpen)
+	}
+	if buckets := doc.SamplesNamed("hyve_serve_request_seconds_bucket"); len(buckets) > 0 {
+		fmt.Fprintf(w, "%-9s p50 %-10s p90 %-10s p99 %-10s\n", "request",
+			fmtSeconds(obs.HistQuantile(buckets, 0.50)),
+			fmtSeconds(obs.HistQuantile(buckets, 0.90)),
+			fmtSeconds(obs.HistQuantile(buckets, 0.99)))
 	}
 }
 

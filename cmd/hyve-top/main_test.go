@@ -88,6 +88,88 @@ func TestRenderRatesAndETA(t *testing.T) {
 	}
 }
 
+// TestRenderETAIncludesReusedRate pins the -resume rate fix: the sweep
+// numerator counts completed + reused experiments, so the rate feeding
+// the ETA must use the same sum. A resume run that reuses artifacts
+// used to show an ETA ~4x too long (only the completed delta counted).
+func TestRenderETAIncludesReusedRate(t *testing.T) {
+	prevReg := sampleRegistry()
+	prevDoc, err := obs.ParseProm(strings.NewReader(expose(t, prevReg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nowReg := sampleRegistry()
+	// Over 10s: +2 completed and +6 reused → 8 experiments of progress,
+	// 0.8/s, with done = 6+2+6 = 14 of 24. The 10 remaining at 0.8/s
+	// give an ETA of 12.5s (12s or 13s after truncation/rounding);
+	// counting only the completed delta (0.2/s) would print 50s.
+	nowReg.Count("bench.experiments.completed", 2)
+	nowReg.Count("bench.experiments.reused", 6)
+	nowDoc, err := obs.ParseProm(strings.NewReader(expose(t, nowReg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	render(&out, nowDoc, prevDoc, 10*time.Second)
+	got := out.String()
+	if !strings.Contains(got, "14/24 experiments") {
+		t.Fatalf("expected 14/24 progress (completed + reused):\n%s", got)
+	}
+	if !strings.Contains(got, "ETA 12s") && !strings.Contains(got, "ETA 13s") {
+		t.Errorf("ETA should be ~12.5s from the combined completed+reused rate, not 50s from completed alone:\n%s", got)
+	}
+}
+
+// TestRenderServePanel pins the hyve-serve panel: hidden without the
+// hyve_serve_* families, rendered with counts and a request rate when a
+// serve process is scraped.
+func TestRenderServePanel(t *testing.T) {
+	benchDoc, err := obs.ParseProm(strings.NewReader(expose(t, sampleRegistry())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	render(&out, benchDoc, nil, 0)
+	if strings.Contains(out.String(), "serve ") {
+		t.Errorf("serve panel rendered for a scrape without hyve_serve_* families:\n%s", out.String())
+	}
+
+	serveReg := func(admitted int64) *obs.Registry {
+		r := obs.NewRegistry()
+		r.Count("serve.requests.admitted", admitted)
+		r.Count("serve.requests.rejected", 7)
+		r.Count("serve.breaker.rejected", 2)
+		r.Count("serve.inflight", 3)
+		r.Count("serve.points.served", 500)
+		r.Gauge("serve.breaker.open", 1)
+		for _, v := range []float64{0.01, 0.05, 0.2} {
+			r.Observe("serve.request.seconds", v)
+		}
+		return r
+	}
+	prevDoc, err := obs.ParseProm(strings.NewReader(expose(t, serveReg(100))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nowDoc, err := obs.ParseProm(strings.NewReader(expose(t, serveReg(150))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	render(&out, nowDoc, prevDoc, 10*time.Second)
+	got := out.String()
+	for _, want := range []string{
+		"150 admitted", "7 rejected", "2 breaker-rejected", "3 in flight", "500 points",
+		"5.0 req/s",
+		"1 circuit breaker(s) open",
+		"request", "p50",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("serve panel missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunOnceAgainstServer(t *testing.T) {
 	reg := sampleRegistry()
 	srv := httptest.NewServer(reg.PromHandler())

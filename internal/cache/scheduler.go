@@ -68,6 +68,11 @@ type Scheduler struct {
 	results  *lruShards
 	machines *lruShards
 
+	// run resolves one missed digest (disk, then execution). It is
+	// runPoint in production; tests substitute a gated executor to
+	// exercise cancellation without a genuinely slow simulation.
+	run func(ctx context.Context, d Digest, cfg core.Config, w core.Workload) (*core.Result, error)
+
 	mu       sync.Mutex
 	inflight map[Digest]*flight
 
@@ -90,6 +95,7 @@ func New(c Config) *Scheduler {
 	if c.Dir != "" {
 		s.disk = &store{dir: c.Dir}
 	}
+	s.run = s.runPoint
 	return s
 }
 
@@ -149,11 +155,15 @@ func (s *Scheduler) Simulate(cfg core.Config, w core.Workload) (*core.Result, er
 	return s.SimulateCtx(context.Background(), cfg, w)
 }
 
-// SimulateCtx is Simulate under a caller context, which exists so span
-// tracing can nest the executed point under the caller's span (run →
-// experiment → point). The context does not cancel an execution — a
-// simulation, once started, runs to completion so a cached result is
-// never half-made.
+// SimulateCtx is Simulate under a caller context: span tracing nests
+// the executed point under the caller's span (run → experiment →
+// point), and cancellation releases the caller. A cancelled submission
+// returns ctx.Err() promptly — whether it was coalesced behind another
+// caller's execution or started the execution itself — but the winning
+// execution is deliberately detached from the caller's cancellation:
+// once started, a simulation runs to completion and its result is
+// cached, so a cached result is never half-made and the work already
+// sunk into the point is never thrown away.
 //
 // Every submission also reports to the process-global obs Recorder:
 // hit/miss/coalesce/error counters, a digest+lookup latency histogram,
@@ -186,28 +196,49 @@ func (s *Scheduler) SimulateCtx(ctx context.Context, cfg core.Config, w core.Wor
 		return r.(*core.Result), nil
 	}
 	obs.ObserveSince(rec, MetricLookupSec, lookup)
+	if err := ctx.Err(); err != nil {
+		// Already-cancelled submissions still get a free hit above, but
+		// never start (or wait behind) an execution.
+		return nil, err
+	}
 
 	// Coalesce concurrent submissions of the same digest onto one
-	// execution; followers wait for the leader's outcome.
+	// execution; followers wait for the leader's outcome — or their own
+	// cancellation, whichever comes first. A waiter abandoning a wedged
+	// execution does not abandon the execution itself.
 	s.mu.Lock()
 	if f, ok := s.inflight[d]; ok {
 		s.mu.Unlock()
 		s.coalesced.Add(1)
 		rec.Count(MetricCoalesced, 1)
-		<-f.done
-		return f.res, f.err
+		select {
+		case <-f.done:
+			return f.res, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[d] = f
 	s.mu.Unlock()
 
-	f.res, f.err = s.runPoint(ctx, d, cfg, w)
-
-	s.mu.Lock()
-	delete(s.inflight, d)
-	s.mu.Unlock()
-	close(f.done)
-	return f.res, f.err
+	// The execution runs detached (context.WithoutCancel keeps the span
+	// parent riding in ctx but severs cancellation), so the leader's
+	// caller can give up at its deadline while the point still finishes
+	// and lands in the cache for the next submission.
+	go func() {
+		f.res, f.err = s.run(context.WithoutCancel(ctx), d, cfg, w)
+		s.mu.Lock()
+		delete(s.inflight, d)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // runPoint resolves one digest the slow way: disk, then execution.

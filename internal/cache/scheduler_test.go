@@ -1,8 +1,11 @@
 package cache
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -182,5 +185,105 @@ func TestLRUEvictsLeastRecent(t *testing.T) {
 		if _, ok := s.get(d); !ok {
 			t.Errorf("recent entry %x evicted", d[1])
 		}
+	}
+}
+
+// waitUntil polls cond for up to five seconds — long enough for any CI
+// scheduler hiccup, short enough that a genuine hang fails fast.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSimulateCtxCancellation pins the contract ISSUE 8 fixed: a
+// cancelled submission — coalesced waiter or execution leader — returns
+// ctx.Err() promptly, while the winning execution runs to completion in
+// the background and lands in the cache, never half-made.
+func TestSimulateCtxCancellation(t *testing.T) {
+	cfg, w := testPoint(t)
+	s := New(Config{})
+
+	// Gate the executor so the point is "wedged" until we release it.
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	realRun := s.run
+	s.run = func(ctx context.Context, d Digest, c core.Config, wl core.Workload) (*core.Result, error) {
+		started <- struct{}{}
+		<-block
+		return realRun(ctx, d, c, wl)
+	}
+
+	// Leader: starts the execution under a cancellable context.
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := s.SimulateCtx(lctx, cfg, w)
+		leaderErr <- err
+	}()
+	<-started
+
+	// Waiter: coalesces behind the wedged execution, then cancels. It
+	// must come back with ctx.Err(), not block forever.
+	wctx, wcancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := s.SimulateCtx(wctx, cfg, w)
+		waiterErr <- err
+	}()
+	waitUntil(t, "waiter to coalesce", func() bool { return s.Stats().Coalesced == 1 })
+	wcancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter still blocked behind the wedged execution")
+	}
+
+	// The leader's caller gives up too; the execution must keep running.
+	lcancel()
+	select {
+	case err := <-leaderErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled leader returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled leader still blocked on its own execution")
+	}
+	if got := s.Stats().Executed; got != 0 {
+		t.Fatalf("execution completed before it was released (executed=%d)", got)
+	}
+
+	// Release the execution: it completes detached and caches its result.
+	close(block)
+	waitUntil(t, "detached execution to complete", func() bool { return s.Stats().Executed == 1 })
+	r, err := s.Simulate(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("nil result from cached point")
+	}
+	st := s.Stats()
+	if st.Executed != 1 || st.MemHits != 1 {
+		t.Errorf("post-cancellation submission should hit the cache made by the detached execution: %+v", st)
+	}
+
+	// An already-cancelled context never starts or waits on an execution
+	// for an uncached point, but still gets free cache hits.
+	if _, err := s.SimulateCtx(wctx, cfg, w); err != nil {
+		t.Errorf("cache hit under a cancelled context should succeed, got %v", err)
+	}
+	cfg2 := cfg
+	cfg2.NumPUs *= 2
+	if _, err := s.SimulateCtx(wctx, cfg2, w); !errors.Is(err, context.Canceled) {
+		t.Errorf("uncached point under a cancelled context returned %v, want context.Canceled", err)
 	}
 }

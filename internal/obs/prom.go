@@ -110,12 +110,21 @@ var promHelp = map[string]string{
 	"hyve_sim_runs_total":                    "Completed cost-simulator runs.",
 	"hyve_sim_iterations_total":              "Simulated algorithm iterations across all runs.",
 	"hyve_sim_edges_processed_total":         "Edges streamed through the simulated PUs.",
+	"hyve_serve_requests_admitted_total":     "Service requests admitted past the token bucket.",
+	"hyve_serve_requests_rejected_total":     "Service requests rejected by admission control (429).",
+	"hyve_serve_breaker_rejected_total":      "Point executions rejected by an open circuit breaker (503).",
+	"hyve_serve_breaker_open":                "Circuit breakers currently open or half-open, across datasets.",
+	"hyve_serve_inflight":                    "Admitted service requests currently executing.",
+	"hyve_serve_request_seconds":             "End-to-end service request latency (admission to last byte).",
+	"hyve_serve_points_served_total":         "Simulation points served successfully over HTTP.",
+	"hyve_serve_drains_total":                "Graceful drains started (0 or 1 per process lifetime).",
 }
 
 // upDownCounters lists recorded-as-Count names that are semantically
 // up/down gauges; the exposition types them gauge and drops _total.
 var upDownCounters = map[string]bool{
 	"parallel.points.inflight": true,
+	"serve.inflight":           true,
 }
 
 type promSeries struct {

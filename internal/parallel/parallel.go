@@ -14,6 +14,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -87,6 +88,20 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // a dump writer). All of it goes through obs.Default(), so an
 // unobserved process pays only no-op interface calls.
 func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, opt, fn)
+}
+
+// ForEachCtx is ForEachOpt under a caller context: once ctx is
+// cancelled no further point is dispatched, but points already
+// executing finish normally — the pool never abandons work mid-point,
+// so index-addressed results are always either complete or untouched.
+// When ctx was cancelled before every point ran and no point failed,
+// the return is ctx.Err(); a point error from the completed prefix
+// still wins (lowest failing index, as ever). This is the backpressure
+// seam hyve-serve leans on: a dropped request or a draining process
+// stops a sweep at the next point boundary without corrupting any
+// in-flight computation.
+func ForEachCtx(ctx context.Context, workers, n int, opt Options, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -137,6 +152,10 @@ func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
 	if w <= 1 {
 		var busy time.Duration
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				utilization(0, busy)
+				return err
+			}
 			t0 := time.Now()
 			err := point(i)
 			busy += time.Since(t0)
@@ -150,11 +169,12 @@ func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
 	}
 
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstIdx = n
-		firstErr error
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstIdx  = n
+		firstErr  error
+		cancelled atomic.Bool
 	)
 	for k := 0; k < w; k++ {
 		wg.Add(1)
@@ -163,6 +183,12 @@ func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
 			var busy time.Duration
 			defer func() { utilization(k, busy) }()
 			for {
+				// The cancellation check guards the claim, not the
+				// execution: a point that was claimed runs to the end.
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -181,5 +207,11 @@ func ForEachOpt(workers, n int, opt Options, fn func(i int) error) error {
 		}(k)
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -1,10 +1,12 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -198,5 +200,88 @@ func TestForEachPanicHammer(t *testing.T) {
 				t.Fatalf("round %d: index %d ran %d times", round, i, c)
 			}
 		}
+	}
+}
+
+// TestForEachCtxStopsDispatchOnCancel proves the ForEachCtx contract:
+// cancellation stops new points from being claimed, points already in
+// flight run to completion (their slots are fully written), and the
+// pool reports ctx.Err() when no point itself failed.
+func TestForEachCtxStopsDispatchOnCancel(t *testing.T) {
+	const n, workers = 64, 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		mu      sync.Mutex
+		ran     = make([]bool, n)
+		started = make(chan int, n)
+		release = make(chan struct{})
+	)
+	// Once every worker holds a point, cancel the context, then let the
+	// in-flight points finish.
+	go func() {
+		for j := 0; j < workers; j++ {
+			<-started
+		}
+		cancel()
+		close(release)
+	}()
+	err := ForEachCtx(ctx, workers, n, Options{}, func(i int) error {
+		started <- i
+		<-release
+		mu.Lock()
+		ran[i] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled pool returned %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var count int
+	for _, r := range ran {
+		if r {
+			count++
+		}
+	}
+	// Exactly the in-flight points at cancellation time completed; none
+	// was abandoned half-done and none was dispatched afterwards.
+	if count != workers {
+		t.Fatalf("%d points ran, want exactly the %d in flight at cancellation", count, workers)
+	}
+}
+
+// ForEachCtx with a pre-cancelled context runs nothing.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var runs atomic.Int64
+	for _, workers := range []int{1, 8} {
+		if err := ForEachCtx(ctx, workers, 16, Options{}, func(i int) error {
+			runs.Add(1)
+			return nil
+		}); err != context.Canceled {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+	}
+	if runs.Load() != 0 {
+		t.Fatalf("%d points ran under a pre-cancelled context", runs.Load())
+	}
+}
+
+// A point error from the completed prefix still beats ctx.Err().
+func TestForEachCtxPointErrorWinsOverCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 2, 8, Options{}, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v, want the point error", err)
 	}
 }

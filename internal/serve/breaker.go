@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one circuit-breaker position.
+type BreakerState int
+
+// Breaker states: Closed admits everything, Open rejects everything
+// until the cooldown expires, HalfOpen admits a single probe whose
+// outcome decides between them.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker guarding one class
+// of expensive work (hyve-serve keys one per dataset, so a wedged
+// full-scale graph cannot poison cheap points on other datasets).
+// Threshold consecutive failures — execution errors or request
+// timeouts — trip it open; after Cooldown it half-opens and admits one
+// probe at a time: a probe success closes the circuit, a probe failure
+// re-opens it for another cooldown.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     BreakerState
+	failures  int       // consecutive, while closed
+	openedAt  time.Time // last trip
+	probing   bool      // a half-open probe is in flight
+	now       func() time.Time
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures and cooling down for cooldown before probing. Nonpositive
+// values fall back to 5 failures / 30s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether one execution may proceed; when it may not,
+// retryAfter is the remaining cooldown. Every admitted execution MUST
+// be matched by exactly one Record call with its outcome — in the
+// half-open state Allow admits only the single probe whose Record
+// settles the circuit.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		if remaining := b.cooldown - b.now().Sub(b.openedAt); remaining > 0 {
+			return false, remaining
+		}
+		b.state = BreakerHalfOpen
+		b.probing = false
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// Record reports the outcome of an admitted execution. A timeout counts
+// as a failure exactly like an error: err is nil on success.
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if err == nil {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if err == nil {
+			b.state = BreakerClosed
+			b.failures = 0
+			return
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	case BreakerOpen:
+		// A late Record from an execution admitted before the trip;
+		// the circuit is already open, nothing to update.
+	}
+}
+
+// State returns the breaker's current position (an Open breaker past
+// its cooldown still reports Open until the next Allow probes it).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerSet is a lazily-populated keyed breaker family sharing one
+// policy — hyve-serve keys it by dataset.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	m         map[string]*Breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{threshold: threshold, cooldown: cooldown, m: make(map[string]*Breaker)}
+}
+
+func (s *breakerSet) get(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[key]
+	if !ok {
+		b = NewBreaker(s.threshold, s.cooldown)
+		s.m[key] = b
+	}
+	return b
+}
+
+// openCount reports how many breakers are currently open — the
+// hyve_serve_breaker_open gauge.
+func (s *breakerSet) openCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	for _, b := range s.m {
+		if b.State() != BreakerClosed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestBreaker(clk *fakeClock) *Breaker {
+	b := NewBreaker(3, 10*time.Second)
+	b.now = clk.now
+	return b
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	boom := errors.New("boom")
+
+	// Two failures, then a success: the consecutive counter resets.
+	for i := 0; i < 2; i++ {
+		b.Record(boom)
+	}
+	b.Record(nil)
+	for i := 0; i < 2; i++ {
+		b.Record(boom)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker tripped on non-consecutive failures")
+	}
+
+	b.Record(boom) // third consecutive
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	ok, retry := b.Allow()
+	if ok {
+		t.Fatal("open breaker admitted an execution")
+	}
+	if retry <= 0 || retry > 10*time.Second {
+		t.Errorf("retryAfter = %v, want within (0, cooldown]", retry)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	boom := errors.New("boom")
+
+	trip := func() *Breaker {
+		b := newTestBreaker(clk)
+		for i := 0; i < 3; i++ {
+			b.Record(boom)
+		}
+		return b
+	}
+
+	// Probe fails: re-open for a fresh cooldown.
+	b := trip()
+	clk.advance(10 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(boom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("breaker admitted immediately after a failed probe")
+	}
+
+	// Probe succeeds: close and forget the failure history.
+	b = trip()
+	clk.advance(10 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Error("closed breaker rejected an execution")
+	}
+}
+
+func TestBreakerSetKeysIndependently(t *testing.T) {
+	set := newBreakerSet(1, time.Minute)
+	set.get("TW").Record(errors.New("wedged"))
+	if got := set.get("TW").State(); got != BreakerOpen {
+		t.Fatalf("TW breaker = %v, want open", got)
+	}
+	if got := set.get("YT").State(); got != BreakerClosed {
+		t.Fatalf("YT breaker = %v, want closed (datasets must not share trips)", got)
+	}
+	if n := set.openCount(); n != 1 {
+		t.Errorf("openCount = %d, want 1", n)
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if ok, _ := b.Allow(); !ok {
+		t.Error("nil breaker must admit")
+	}
+	b.Record(errors.New("x")) // must not panic
+	if b.State() != BreakerClosed {
+		t.Error("nil breaker state != closed")
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Snowflake-style run identifiers: 64 bits packing a millisecond
+// timestamp, a node id, and a per-millisecond sequence, so ids minted by
+// one process are unique, ordered by time, and cheap — no coordination,
+// no allocation beyond the formatted string. The layout follows the
+// classic scheme (41 timestamp bits, 10 node bits, 12 sequence bits),
+// which gives 4096 ids per node per millisecond for ~69 years from the
+// epoch below.
+const (
+	snowNodeBits = 10
+	snowSeqBits  = 12
+	snowNodeMax  = 1<<snowNodeBits - 1
+	snowSeqMax   = 1<<snowSeqBits - 1
+)
+
+// snowEpoch is the custom epoch (2026-01-01T00:00:00Z) run ids count
+// milliseconds from; a fixed recent epoch keeps the timestamp inside 41
+// bits for decades.
+var snowEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Snowflake mints run ids. The zero value is not ready; use
+// NewSnowflake. Safe for concurrent use.
+type Snowflake struct {
+	mu   sync.Mutex
+	node uint64
+	last int64 // ms since epoch of the most recent id
+	seq  uint64
+	now  func() time.Time // injectable for tests
+}
+
+// NewSnowflake returns a generator stamping node (truncated to 10 bits)
+// into every id.
+func NewSnowflake(node uint64) *Snowflake {
+	return &Snowflake{node: node & snowNodeMax, now: time.Now}
+}
+
+// Next mints one id. Within a single millisecond ids differ by
+// sequence; when the sequence saturates, Next spins to the next
+// millisecond. A clock stepping backwards never reissues an id: the
+// timestamp is pinned to the highest value seen.
+func (s *Snowflake) Next() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms := s.now().Sub(snowEpoch).Milliseconds()
+	if ms < s.last {
+		ms = s.last // monotone under clock regression
+	}
+	if ms == s.last {
+		s.seq = (s.seq + 1) & snowSeqMax
+		if s.seq == 0 {
+			for ms <= s.last {
+				ms = s.now().Sub(snowEpoch).Milliseconds()
+			}
+		}
+	} else {
+		s.seq = 0
+	}
+	s.last = ms
+	return uint64(ms)<<(snowNodeBits+snowSeqBits) | s.node<<snowSeqBits | s.seq
+}
+
+// NextString is Next formatted the way run ids appear on the wire and
+// in spans: lowercase hex, fixed 16 digits.
+func (s *Snowflake) NextString() string {
+	id := s.Next()
+	const hexDigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// SnowflakeTime recovers the wall-clock millisecond a run id was minted
+// at — useful when correlating server logs with client-held ids.
+func SnowflakeTime(id uint64) time.Time {
+	ms := int64(id >> (snowNodeBits + snowSeqBits))
+	return snowEpoch.Add(time.Duration(ms) * time.Millisecond)
+}
+
+// ParseRunID parses a NextString-formatted id back to its integer form.
+func ParseRunID(s string) (uint64, error) {
+	return strconv.ParseUint(s, 16, 64)
+}

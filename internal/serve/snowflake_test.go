@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSnowflakeUniqueAndOrdered(t *testing.T) {
+	s := NewSnowflake(7)
+	const n = 10_000
+	seen := make(map[uint64]bool, n)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		id := s.Next()
+		if seen[id] {
+			t.Fatalf("duplicate id %x at mint %d", id, i)
+		}
+		seen[id] = true
+		if id <= prev {
+			t.Fatalf("id %x not greater than predecessor %x", id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestSnowflakeClockRegression(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSnowflake(1)
+	s.now = clk.now
+
+	a := s.Next()
+	clk.advance(-5 * time.Second) // clock steps backwards
+	b := s.Next()
+	if b <= a {
+		t.Fatalf("id %x minted after clock regression not greater than %x", b, a)
+	}
+}
+
+func TestSnowflakeRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	s := NewSnowflake(1023)
+	s.now = clk.now
+
+	str := s.NextString()
+	if len(str) != 16 {
+		t.Fatalf("NextString length = %d, want 16", len(str))
+	}
+	id, err := ParseRunID(str)
+	if err != nil {
+		t.Fatalf("ParseRunID(%q): %v", str, err)
+	}
+	if got := SnowflakeTime(id); !got.Equal(clk.now().Truncate(time.Millisecond)) {
+		t.Errorf("SnowflakeTime = %v, want %v", got, clk.now())
+	}
+	if node := id >> snowSeqBits & snowNodeMax; node != 1023 {
+		t.Errorf("embedded node = %d, want 1023", node)
+	}
+}
+
+func TestSnowflakeNodeTruncated(t *testing.T) {
+	s := NewSnowflake(1 << 12) // beyond 10 bits
+	if s.node != 0 {
+		t.Errorf("node = %d, want truncation to 10 bits", s.node)
+	}
+}
