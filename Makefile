@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-json bench-smoke fault-smoke cache-smoke obs-smoke serve-smoke check
+.PHONY: all build test vet race bench bench-json bench-smoke fault-smoke cache-smoke obs-smoke serve-smoke prep-smoke check
 
 # The committed benchmark artifact for this PR; bump per PR so the repo
 # accumulates a benchstat-style history (compare two with
@@ -110,6 +110,24 @@ serve-smoke:
 	kill -TERM $$SERVE_PID; \
 	wait $$SERVE_PID
 	@echo serve-smoke: served bytes identical to direct simulation, metrics clean, drain clean
+
+# prep-smoke is the prepared-graph end-to-end gate: compile YT into a
+# v2 container (grid at the auto-chosen P, self-verified against a
+# rebuild through both readers), then run the same quick sweep with and
+# without -prep-dir — the mmap-loaded dataset must produce artifact
+# directories byte-identical to in-process generation (manifest.json
+# excluded: wall time and worker count vary by design).
+PREP_SMOKE_DIR ?= /tmp/hyve-prep-smoke
+prep-smoke:
+	rm -rf $(PREP_SMOKE_DIR) && mkdir -p $(PREP_SMOKE_DIR)/prep
+	$(GO) run ./cmd/hyve-prep -dataset YT -out $(PREP_SMOKE_DIR)/prep/YT.s8.hyve2 \
+		-grid auto -verify -budget 64
+	$(GO) run ./cmd/hyve-bench -quick -run table3,fig9,fig14 \
+		-artifact-dir $(PREP_SMOKE_DIR)/generated >/dev/null
+	$(GO) run ./cmd/hyve-bench -quick -run table3,fig9,fig14 \
+		-prep-dir $(PREP_SMOKE_DIR)/prep -artifact-dir $(PREP_SMOKE_DIR)/prepared >/dev/null
+	diff -r -x manifest.json $(PREP_SMOKE_DIR)/generated $(PREP_SMOKE_DIR)/prepared
+	@echo prep-smoke: prepared-load artifacts byte-identical to in-process generation
 
 # fault-smoke drives the resilience layer end to end in bounded time:
 # the reliability experiment (BER sweep, SECDED accounting, bank

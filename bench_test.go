@@ -16,6 +16,8 @@ package repro
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/algo"
@@ -78,6 +80,117 @@ func BenchmarkRMATGenerate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(524_288, "edges/op")
+}
+
+// BenchmarkRMATGenerateWorkers splits the serial and chunk-parallel
+// generator paths; both produce bit-identical edge streams, so the
+// delta is pure scheduling.
+func BenchmarkRMATGenerateWorkers(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.GenerateRMATWorkers(65_536, 524_288, graph.DefaultRMAT, 11, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(524_288, "edges/op")
+		})
+	}
+}
+
+// BenchmarkGraphLoadV2 is the PR 9 headline: loading a prepared v2
+// container (mmap, stored CSR and grid sections) versus regenerating
+// the same graph and rebuilding its grid from scratch. The load side's
+// allocs/op is the zero-copy pin — it must stay O(1) in |E|, not
+// O(edges).
+func BenchmarkGraphLoadV2(b *testing.B) {
+	g := benchGraph(b)
+	asg, err := partition.NewHashed(g.NumVertices, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.hyve2")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := graph.NewV2Writer(f, g.NumVertices, g.NumEdges())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.WriteV2Into(w, g, graph.V2Options{CSR: true, Seed: 11}); err != nil {
+		b.Fatal(err)
+	}
+	if err := partition.StreamGridInto(w, g, asg, partition.StreamOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("generate+build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gg, err := graph.GenerateRMAT(65_536, 524_288, graph.DefaultRMAT, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := partition.BuildParallel(gg, asg, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(g.NumEdges()), "edges/op")
+	})
+	b.Run("load+build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := graph.OpenV2(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := partition.BuildParallel(c.Graph(), asg, 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(g.NumEdges()), "edges/op")
+	})
+}
+
+// BenchmarkPartitionStream measures the bounded-memory grid builder:
+// the in-memory single-run path and a budget small enough to spill and
+// merge runs through the temp file.
+func BenchmarkPartitionStream(b *testing.B) {
+	g := benchGraph(b)
+	asg, err := partition.NewHashed(g.NumVertices, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name   string
+		budget int64
+	}{{"in-memory", 0}, {"spill-4MiB", 4 << 20}} {
+		b.Run(bc.name, func(b *testing.B) {
+			dir := b.TempDir()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, closer, err := partition.StreamBuild(g, asg, partition.StreamOptions{BudgetBytes: bc.budget, TmpDir: dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := closer(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(g.NumEdges()), "edges/op")
+		})
+	}
 }
 
 func BenchmarkPartitionBuild(b *testing.B) {

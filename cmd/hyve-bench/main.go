@@ -76,8 +76,11 @@ func main() {
 		noCache  = flag.Bool("no-cache", false, "disable all simulation-result reuse, including the in-memory per-run cache")
 		logLevel = flag.String("log-level", "info", "progress log floor: debug, info, warn, or error")
 		trace    = flag.String("trace", "", "write the run's span trace to this file as Chrome trace_event JSON (implies tracing on)")
+		prepDir  = flag.String("prep-dir", "", "load datasets from hyve-prep v2 containers in this directory when present (bit-identical to generation; missing datasets are generated)")
 	)
 	flag.Parse()
+
+	graph.SetPreparedDir(*prepDir)
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {

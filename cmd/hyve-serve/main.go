@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -59,8 +60,11 @@ func main() {
 		drainTimeout    = flag.Duration("drain-timeout", 2*time.Minute, "how long a signalled process waits for in-flight requests before forcing exit")
 		node            = flag.Uint64("node", 0, "snowflake node id stamped into run ids (0-1023)")
 		logLevel        = flag.String("log-level", "info", "log floor: debug, info, warn, or error")
+		prepDir         = flag.String("prep-dir", "", "load datasets from hyve-prep v2 containers in this directory when present (bit-identical to generation; missing datasets are generated)")
 	)
 	flag.Parse()
+
+	graph.SetPreparedDir(*prepDir)
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {

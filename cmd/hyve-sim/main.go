@@ -54,8 +54,11 @@ func main() {
 		par     = flag.Int("parallel", 0, "worker count for sweep points (0 = GOMAXPROCS, 1 = serial)")
 		jsonOut = flag.Bool("json", false, "emit one canonical JSON artifact document per point instead of text")
 		result  = flag.Bool("result", false, "emit each point's canonical hyve/result/v1 document (the result-cache and hyve-serve wire format)")
+		prepDir = flag.String("prep-dir", "", "load datasets from hyve-prep v2 containers in this directory when present (bit-identical to generation; missing datasets are generated)")
 	)
 	flag.Parse()
+
+	graph.SetPreparedDir(*prepDir)
 
 	if *jsonOut && *result {
 		fmt.Fprintln(os.Stderr, "hyve-sim: -json and -result are mutually exclusive")

@@ -16,7 +16,7 @@ type State struct {
 	Graph  *graph.Graph
 	Values []float64 // current vertex values (the "source" copy)
 	Accum  []float64 // gathered accumulators (the "destination" copy)
-	OutDeg []int
+	OutDeg []uint32
 	// Iteration counts completed iterations.
 	Iteration int
 	// EdgesProcessed counts edge traversals (messages considered).
@@ -81,7 +81,7 @@ func (s *State) BeginIteration() {
 // value, gather into the destination's accumulator.
 func (s *State) ProcessEdge(e graph.Edge, w float32) {
 	s.EdgesProcessed++
-	msg, active := s.Prog.Scatter(s.Values[e.Src], s.OutDeg[e.Src], w)
+	msg, active := s.Prog.Scatter(s.Values[e.Src], int(s.OutDeg[e.Src]), w)
 	if !active {
 		return
 	}
@@ -120,7 +120,7 @@ func (s *State) ProcessEdgesInto(ks *KernelStats, edges []graph.Edge, weights []
 		if weights != nil {
 			w = weights[i]
 		}
-		msg, active := s.Prog.Scatter(s.Values[e.Src], s.OutDeg[e.Src], w)
+		msg, active := s.Prog.Scatter(s.Values[e.Src], int(s.OutDeg[e.Src]), w)
 		if !active {
 			continue
 		}

@@ -46,7 +46,7 @@ func (ks *KernelStats) Add(o KernelStats) {
 // accum[e.Dst]. The kernel owns no state — all three slices belong to
 // the caller — and must preserve the generic path's exact float
 // semantics: same operations, same rounding, same update test.
-type EdgeKernel func(values, accum []float64, outDeg []int, edges []graph.Edge, weights []float32) KernelStats
+type EdgeKernel func(values, accum []float64, outDeg []uint32, edges []graph.Edge, weights []float32) KernelStats
 
 // KernelProgram is implemented by programs that provide a specialized
 // edge kernel. NewState picks the kernel up automatically; the generic
@@ -76,7 +76,7 @@ func (m *SpMV) EdgeKernel() EdgeKernel { return sumGatherWeightedKernel }
 // source has out-edges, sum-gather. The update test mirrors the generic
 // path exactly: a gather counts as an update iff the float sum moved the
 // accumulator (adding a denormal-small or zero message may not).
-func rankSpreadKernel(values, accum []float64, outDeg []int, edges []graph.Edge, _ []float32) KernelStats {
+func rankSpreadKernel(values, accum []float64, outDeg []uint32, edges []graph.Edge, _ []float32) KernelStats {
 	st := KernelStats{Edges: int64(len(edges))}
 	for _, e := range edges {
 		d := outDeg[e.Src]
@@ -100,7 +100,7 @@ func rankSpreadKernel(values, accum []float64, outDeg []int, edges []graph.Edge,
 // branch form of `math.Min(acc, msg) != acc` for the non-NaN values BFS
 // produces (levels and +Inf), including the ±0 edge cases: Min(-0, +0)
 // is -0, which compares equal to +0, so neither form updates.
-func minGatherHopKernel(values, accum []float64, _ []int, edges []graph.Edge, _ []float32) KernelStats {
+func minGatherHopKernel(values, accum []float64, _ []uint32, edges []graph.Edge, _ []float32) KernelStats {
 	st := KernelStats{Edges: int64(len(edges))}
 	for _, e := range edges {
 		src := values[e.Src]
@@ -119,7 +119,7 @@ func minGatherHopKernel(values, accum []float64, _ []int, edges []graph.Edge, _ 
 
 // minGatherLabelKernel is CC's inner loop: every source scatters its
 // label, min-gather.
-func minGatherLabelKernel(values, accum []float64, _ []int, edges []graph.Edge, _ []float32) KernelStats {
+func minGatherLabelKernel(values, accum []float64, _ []uint32, edges []graph.Edge, _ []float32) KernelStats {
 	n := int64(len(edges))
 	st := KernelStats{Edges: n, Active: n}
 	for _, e := range edges {
@@ -135,7 +135,7 @@ func minGatherLabelKernel(values, accum []float64, _ []int, edges []graph.Edge, 
 // minGatherWeightedKernel is SSSP's inner loop: reached sources scatter
 // dist+w, min-gather. A nil weight slice means unit weights, which is
 // exactly the BFS relaxation.
-func minGatherWeightedKernel(values, accum []float64, outDeg []int, edges []graph.Edge, weights []float32) KernelStats {
+func minGatherWeightedKernel(values, accum []float64, outDeg []uint32, edges []graph.Edge, weights []float32) KernelStats {
 	if weights == nil {
 		return minGatherHopKernel(values, accum, outDeg, edges, nil)
 	}
@@ -159,7 +159,7 @@ func minGatherWeightedKernel(values, accum []float64, outDeg []int, edges []grap
 // src·w, sum-gather. The explicit float64 conversion on the product pins
 // the intermediate rounding so no fused multiply-add can diverge from
 // the generic path (which rounds at Scatter's return).
-func sumGatherWeightedKernel(values, accum []float64, _ []int, edges []graph.Edge, weights []float32) KernelStats {
+func sumGatherWeightedKernel(values, accum []float64, _ []uint32, edges []graph.Edge, weights []float32) KernelStats {
 	n := int64(len(edges))
 	st := KernelStats{Edges: n, Active: n}
 	for i, e := range edges {

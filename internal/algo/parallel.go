@@ -89,7 +89,7 @@ func RunParallel(p Program, g *graph.Graph, workers int) (*Result, error) {
 						continue
 					}
 					st.edges++
-					msg, active := p.Scatter(values[e.Src], outDeg[e.Src], g.Weight(i))
+					msg, active := p.Scatter(values[e.Src], int(outDeg[e.Src]), g.Weight(i))
 					if !active {
 						continue
 					}

@@ -87,7 +87,7 @@ func ReferenceSSSP(g *graph.Graph, root graph.VertexID) []float64 {
 		for i, u := range csr.Neighbors(top.v) {
 			w := float64(1)
 			if csr.Weights != nil {
-				w = float64(csr.Weights[off+int64(i)])
+				w = float64(csr.Weights[off+uint64(i)])
 			}
 			if nd := top.d + w; nd < dist[u] {
 				dist[u] = nd

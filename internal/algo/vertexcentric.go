@@ -81,7 +81,7 @@ func RunVertexCentric(p Program, g *graph.Graph) (*Result, error) {
 				res.EdgesProcessed++
 				msg := msg0
 				if csr.Weights != nil {
-					m, okw := p.Scatter(values[v], outDeg[v], csr.Weights[off+int64(i)])
+					m, okw := p.Scatter(values[v], outDeg[v], csr.Weights[off+uint64(i)])
 					msg, ok = m, okw
 				}
 				if !ok {

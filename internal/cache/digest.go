@@ -120,45 +120,15 @@ var graphDigests sync.Map // *graph.Graph → Digest
 // list, and weights when present — so two differently labeled or
 // differently provenanced instances with equal structure share an
 // identity, and a re-scaled or re-seeded instance under the same dataset
-// name cannot collide. The hash is memoized per instance.
+// name cannot collide. The byte stream is graph.ContentDigest (the same
+// digest v2 containers carry in their headers, which is what makes a
+// prepared-file load and an in-process generation indistinguishable
+// here); this wrapper memoizes it per instance.
 func GraphDigest(g *graph.Graph) Digest {
 	if v, ok := graphDigests.Load(g); ok {
 		return v.(Digest)
 	}
-	h := sha256.New()
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], uint64(g.NumVertices))
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(g.Edges)))
-	h.Write(hdr[:])
-	// Stream the edge list in bounded chunks: 1024 edges → 8 KB writes.
-	var buf [8192]byte
-	at := 0
-	flush := func() {
-		h.Write(buf[:at])
-		at = 0
-	}
-	for _, e := range g.Edges {
-		if at == len(buf) {
-			flush()
-		}
-		binary.LittleEndian.PutUint32(buf[at:], e.Src)
-		binary.LittleEndian.PutUint32(buf[at+4:], e.Dst)
-		at += 8
-	}
-	flush()
-	if g.Weighted() {
-		h.Write([]byte{'w'})
-		for _, w := range g.Weights {
-			if at == len(buf) {
-				flush()
-			}
-			binary.LittleEndian.PutUint32(buf[at:], math.Float32bits(w))
-			at += 4
-		}
-		flush()
-	}
-	var d Digest
-	h.Sum(d[:0])
+	d := Digest(graph.ContentDigest(g))
 	actual, _ := graphDigests.LoadOrStore(g, d)
 	return actual.(Digest)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 
 	"repro/internal/algo"
 	"repro/internal/analytic"
@@ -111,6 +112,11 @@ func Invariants() []Invariant {
 			Name:      "cache-hit-identity",
 			Tolerance: "byte-exact: memory and disk hits identical to fresh execution",
 			Check:     checkCacheHitIdentity,
+		},
+		{
+			Name:      "v2-load-identity",
+			Tolerance: "byte-exact: v2-loaded graphs keep the cache key and result bytes",
+			Check:     checkV2LoadIdentity,
 		},
 		{
 			Name:      "fault-zero-rate",
@@ -531,6 +537,120 @@ func checkCacheHitIdentity(p *Point) error {
 		if !bytes.Equal(b, baseBytes) {
 			return fmt.Errorf("check: %s result differs from fresh execution (%d vs %d bytes)",
 				tc.name, len(b), len(baseBytes))
+		}
+	}
+	return nil
+}
+
+// checkV2LoadIdentity holds the prepared-container pipeline (PR 9) to
+// the generation contract: a graph round-tripped through a v2 container
+// — CSR and pre-partitioned grid sections included — must be
+// indistinguishable from the in-process instance. The point's graph is
+// compiled to a temp container at the P its own simulation will choose,
+// then loaded back through both readers (mmap via OpenV2 and the
+// streaming ReadV2). For each, the cache key must not move and a full
+// simulation over the loaded graph — whose grid comes from the stored
+// sections via the partition fast path — must encode to the same
+// canonical bytes as the fresh run.
+func checkV2LoadIdentity(p *Point) error {
+	base, err := p.Sim()
+	if err != nil {
+		return err
+	}
+	baseBytes, err := cache.EncodeResult(base)
+	if err != nil {
+		return err
+	}
+	baseKey, err := cache.PointDigest(p.Cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+	gridP, err := core.ChoosePFor(p.Cfg, p.Workload)
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "hyve-v2-check")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "point.hyve2")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := graph.NewV2Writer(f, p.Graph.NumVertices, p.Graph.NumEdges())
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteV2Into(w, p.Graph, graph.V2Options{CSR: true, Seed: p.Seed}); err != nil {
+		return err
+	}
+	asg, err := partition.NewHashed(p.Graph.NumVertices, gridP)
+	if err != nil {
+		return err
+	}
+	// A 1-byte budget forces the spilled-run path, so the check also
+	// covers the bounded-memory builder's layout identity.
+	if err := partition.StreamGridInto(w, p.Graph, asg, partition.StreamOptions{BudgetBytes: 1, TmpDir: dir}); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	for _, rd := range []struct {
+		name string
+		open func() (*graph.Container, error)
+	}{
+		{"mmap", func() (*graph.Container, error) { return graph.OpenV2(path) }},
+		{"stream", func() (*graph.Container, error) {
+			cf, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer cf.Close()
+			st, err := cf.Stat()
+			if err != nil {
+				return nil, err
+			}
+			return graph.ReadV2(cf, st.Size())
+		}},
+	} {
+		c, err := rd.open()
+		if err != nil {
+			return fmt.Errorf("check: %s reader: %w", rd.name, err)
+		}
+		lw := p.Workload
+		lw.Graph = c.Graph()
+		key, err := cache.PointDigest(p.Cfg, lw)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		if key != baseKey {
+			c.Close()
+			return fmt.Errorf("check: %s-loaded graph moved the cache key (%s vs %s)", rd.name, key, baseKey)
+		}
+		r, err := core.Simulate(p.Cfg, lw)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("check: simulating %s-loaded graph: %w", rd.name, err)
+		}
+		b, err := cache.EncodeResult(r)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		if !bytes.Equal(b, baseBytes) {
+			c.Close()
+			return fmt.Errorf("check: %s-loaded result differs from fresh execution (%d vs %d bytes)",
+				rd.name, len(b), len(baseBytes))
+		}
+		if err := c.Close(); err != nil {
+			return fmt.Errorf("check: closing %s container: %w", rd.name, err)
 		}
 	}
 	return nil

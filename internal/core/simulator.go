@@ -255,18 +255,9 @@ func newSim(cfg Config, w Workload) (*machine, error) {
 		if s.onchip, err = sram.New(cfg.SRAMBytes); err != nil {
 			return nil, err
 		}
-		// P from full-scale vertices so partition counts match the
-		// paper's machine; clamped to the instance so intervals are
-		// non-empty.
-		p, err := partition.ChooseP(w.fullVertices(), int(cfg.SRAMBytes), s.valueBytes, cfg.NumPUs)
-		if err != nil {
-			return nil, err
-		}
-		s.p = clampP(p, w.Graph.NumVertices, cfg.NumPUs)
-	} else {
-		// Without on-chip vertex memory the schedule degenerates to N
-		// parallel streams; keep one interval per PU for block shape.
-		s.p = clampP(cfg.NumPUs, w.Graph.NumVertices, cfg.NumPUs)
+	}
+	if s.p, err = ChoosePFor(cfg, w); err != nil {
+		return nil, err
 	}
 
 	asg, err := partition.NewHashed(w.Graph.NumVertices, s.p)
@@ -295,6 +286,27 @@ func newSim(cfg Config, w Workload) (*machine, error) {
 		s.gate.SetRecorder(cfg.recorder())
 	}
 	return s, nil
+}
+
+// ChoosePFor returns the interval count the simulator will partition
+// w's graph into under cfg — the same decision newSim makes, exposed so
+// offline tooling (hyve-prep -grid auto) can pre-partition a container
+// at exactly the P a later simulation will request and hit the prepared
+// fast path.
+func ChoosePFor(cfg Config, w Workload) (int, error) {
+	if cfg.UseOnChipSRAM {
+		// P from full-scale vertices so partition counts match the
+		// paper's machine; clamped to the instance so intervals are
+		// non-empty.
+		p, err := partition.ChooseP(w.fullVertices(), int(cfg.SRAMBytes), w.Program.ValueBytes(), cfg.NumPUs)
+		if err != nil {
+			return 0, err
+		}
+		return clampP(p, w.Graph.NumVertices, cfg.NumPUs), nil
+	}
+	// Without on-chip vertex memory the schedule degenerates to N
+	// parallel streams; keep one interval per PU for block shape.
+	return clampP(cfg.NumPUs, w.Graph.NumVertices, cfg.NumPUs), nil
 }
 
 // clampP keeps P a positive multiple of n that does not exceed the

@@ -75,15 +75,15 @@ func FuzzReadBinary(f *testing.F) {
 	}
 	full := buf.Bytes()
 	f.Add(full)
-	f.Add(full[:len(full)-3])                                     // truncated mid-edge
-	f.Add(full[:12])                                              // header only, no counts
-	f.Add([]byte{})                                               // empty
-	f.Add(binHeader(0x45567948, 1, 0, 10, 1<<60))                 // overflowing edge count
-	f.Add(binHeader(0x45567948, 1, 0, 1<<40, 4))                  // overflowing vertex count
-	f.Add(binHeader(0x45567948, 1, 1, 4, 2))                      // weighted flag, no payload
-	f.Add(binHeader(0x45567948, 1, 0xFFFE, 4, 2))                 // unknown flags
-	f.Add(binHeader(0x45567948, 9, 0, 4, 2))                      // bad version
-	f.Add(append(binHeader(0x45567948, 1, 1, 2, 1),               // NaN weight payload
+	f.Add(full[:len(full)-3])                       // truncated mid-edge
+	f.Add(full[:12])                                // header only, no counts
+	f.Add([]byte{})                                 // empty
+	f.Add(binHeader(0x45567948, 1, 0, 10, 1<<60))   // overflowing edge count
+	f.Add(binHeader(0x45567948, 1, 0, 1<<40, 4))    // overflowing vertex count
+	f.Add(binHeader(0x45567948, 1, 1, 4, 2))        // weighted flag, no payload
+	f.Add(binHeader(0x45567948, 1, 0xFFFE, 4, 2))   // unknown flags
+	f.Add(binHeader(0x45567948, 9, 0, 4, 2))        // bad version
+	f.Add(append(binHeader(0x45567948, 1, 1, 2, 1), // NaN weight payload
 		0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0xC0, 0x7F))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinary(bytes.NewReader(data))

@@ -1,6 +1,11 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // RMATParams configures the recursive-matrix (R-MAT / Kronecker)
 // generator. A, B, C, D are the quadrant probabilities; natural graphs
@@ -34,33 +39,91 @@ func (p RMATParams) Validate() error {
 	return nil
 }
 
+// rmatChunkEdges is the unit of parallel R-MAT generation: the edge
+// array is cut into fixed chunks and each chunk is filled from its own
+// splitmix64-derived RNG stream. The output is therefore a pure function
+// of (sizes, params, seed) — independent of worker count and of the
+// order chunks are claimed — and rejection sampling for non-power-of-two
+// vertex counts stays confined to the chunk whose stream it consumes.
+// The chunk size is part of the stream definition: changing it changes
+// every generated graph (pinned by TestGenerateRMATGolden).
+const rmatChunkEdges = 1 << 16
+
 // GenerateRMAT produces a directed graph with numVertices vertices
 // (rounded up internally to a power of two for quadrant recursion, then
 // mapped back down) and numEdges edges drawn from the R-MAT distribution.
 // Self-loops and duplicate edges are kept, matching the raw SNAP edge
-// lists the paper streams. The output is deterministic in seed.
+// lists the paper streams. The output is deterministic in seed and
+// generated chunk-parallel across all CPUs; see GenerateRMATWorkers.
 func GenerateRMAT(numVertices, numEdges int, p RMATParams, seed uint64) (*Graph, error) {
+	return GenerateRMATWorkers(numVertices, numEdges, p, seed, 0)
+}
+
+// GenerateRMATWorkers is GenerateRMAT with an explicit worker count
+// (≤0 means one per CPU). The edge array is byte-identical at any
+// worker count: each rmatChunkEdges-sized chunk c draws from its own
+// RNG seeded with SplitMix64(seed ^ c·golden), so parallelism only
+// changes which goroutine fills which disjoint slice of the output.
+func GenerateRMATWorkers(numVertices, numEdges int, p RMATParams, seed uint64, workers int) (*Graph, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if numVertices <= 0 {
 		return nil, ErrEmptyGraph
 	}
+	if numEdges < 0 {
+		return nil, fmt.Errorf("graph: negative edge count %d", numEdges)
+	}
 	levels := 0
 	for (1 << levels) < numVertices {
 		levels++
 	}
-	rng := NewRNG(seed)
-	g := &Graph{NumVertices: numVertices, Edges: make([]Edge, 0, numEdges)}
-	for len(g.Edges) < numEdges {
-		src, dst := rmatPick(rng, levels, p)
-		// Rejection keeps the quadrant distribution intact for vertex
-		// counts that are not powers of two.
-		if src >= numVertices || dst >= numVertices {
-			continue
-		}
-		g.Edges = append(g.Edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+	g := &Graph{NumVertices: numVertices, Edges: make([]Edge, numEdges)}
+	chunks := (numEdges + rmatChunkEdges - 1) / rmatChunkEdges
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > chunks {
+		workers = chunks
+	}
+	fill := func(c int) {
+		lo := c * rmatChunkEdges
+		hi := min(lo+rmatChunkEdges, numEdges)
+		rng := NewRNG(SplitMix64(seed ^ uint64(c)*0x9E3779B97F4A7C15))
+		for i := lo; i < hi; i++ {
+			for {
+				src, dst := rmatPick(rng, levels, p)
+				// Rejection keeps the quadrant distribution intact for
+				// vertex counts that are not powers of two.
+				if src < numVertices && dst < numVertices {
+					g.Edges[i] = Edge{Src: VertexID(src), Dst: VertexID(dst)}
+					break
+				}
+			}
+		}
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			fill(c)
+		}
+		return g, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				fill(c)
+			}
+		}()
+	}
+	wg.Wait()
 	return g, nil
 }
 

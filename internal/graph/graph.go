@@ -47,7 +47,38 @@ type Graph struct {
 	Weights     []float32
 
 	outDegOnce sync.Once
-	outDeg     []int
+	outDeg     []uint32
+
+	// prep, when non-nil, is the pre-partitioned grid payload attached by
+	// the v2 container this graph was materialized from (see v2read.go).
+	// It is provenance, not topology: Clone deliberately drops it.
+	prep *preparedGrid
+}
+
+// preparedGrid carries a container's grid sections alongside the graph
+// so partition.BuildParallel can return the stored layout instead of
+// rebuilding when its assigner matches. The stored order is exactly
+// BuildParallel's stable counting-sort order, so taking the fast path
+// never changes a single result byte.
+type preparedGrid struct {
+	p          int
+	contiguous bool // interval kind: contiguous ranges vs hashed (v mod P)
+	offsets    []int64
+	edges      []Edge
+	weights    []float32
+}
+
+// PreparedGrid returns the container-attached grid payload when its
+// shape matches the request exactly: same interval count, same interval
+// kind, and weights present iff the caller needs them. The slices alias
+// container storage (possibly a read-only mmap) and must not be
+// modified. ok is false for graphs without an attached container grid.
+func (g *Graph) PreparedGrid(p int, contiguous, weighted bool) (offsets []int64, edges []Edge, weights []float32, ok bool) {
+	pg := g.prep
+	if pg == nil || pg.p != p || pg.contiguous != contiguous || weighted != (pg.weights != nil) {
+		return nil, nil, nil, false
+	}
+	return pg.offsets, pg.edges, pg.weights, true
 }
 
 // NumEdges returns the number of directed edges.
@@ -90,9 +121,13 @@ func (g *Graph) Validate() error {
 // goroutine — the memo is a sync.Once) returns the same shared slice.
 // Callers must treat it as read-only, and per the immutability contract
 // on Graph the edge list must not be mutated after the first call.
-func (g *Graph) OutDegrees() []int {
+//
+// Degrees are uint32 (4 bytes/vertex instead of int's 8): a single
+// vertex with more than 2³² out-edges is beyond even the paper's
+// billion-edge graphs, and halving the array matters at full scale.
+func (g *Graph) OutDegrees() []uint32 {
 	g.outDegOnce.Do(func() {
-		deg := make([]int, g.NumVertices)
+		deg := make([]uint32, g.NumVertices)
 		for _, e := range g.Edges {
 			deg[e.Src]++
 		}
@@ -102,15 +137,18 @@ func (g *Graph) OutDegrees() []int {
 }
 
 // InDegrees returns the in-degree of every vertex.
-func (g *Graph) InDegrees() []int {
-	deg := make([]int, g.NumVertices)
+func (g *Graph) InDegrees() []uint32 {
+	deg := make([]uint32, g.NumVertices)
 	for _, e := range g.Edges {
 		deg[e.Dst]++
 	}
 	return deg
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. Container provenance (the
+// prepared-grid payload) is not copied: a clone is about to be mutated
+// (e.g. AttachUniformWeights), which would desynchronize it from the
+// stored layout.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{NumVertices: g.NumVertices, Edges: append([]Edge(nil), g.Edges...)}
 	if g.Weights != nil {
@@ -153,16 +191,18 @@ var ErrEmptyGraph = errors.New("graph: empty graph")
 
 // CSR is a compressed-sparse-row view of a graph: Offsets[v]..Offsets[v+1]
 // index the out-edges of v inside Targets. It is the access structure the
-// reference (vertex-centric) algorithm implementations use.
+// reference (vertex-centric) algorithm implementations use. Offsets are
+// uint64 — edge positions, which overflow int32 on the paper's graphs
+// and have no business being signed.
 type CSR struct {
-	Offsets []int64
+	Offsets []uint64
 	Targets []VertexID
 	Weights []float32
 }
 
 // BuildCSR constructs a CSR adjacency view without mutating g.
 func BuildCSR(g *Graph) *CSR {
-	offsets := make([]int64, g.NumVertices+1)
+	offsets := make([]uint64, g.NumVertices+1)
 	for _, e := range g.Edges {
 		offsets[e.Src+1]++
 	}
@@ -174,7 +214,7 @@ func BuildCSR(g *Graph) *CSR {
 	if g.Weights != nil {
 		weights = make([]float32, len(g.Edges))
 	}
-	next := make([]int64, g.NumVertices)
+	next := make([]uint64, g.NumVertices)
 	copy(next, offsets[:g.NumVertices])
 	for i, e := range g.Edges {
 		at := next[e.Src]

@@ -38,8 +38,8 @@ func TestDegrees(t *testing.T) {
 	g := &Graph{NumVertices: 4, Edges: []Edge{{0, 1}, {0, 2}, {1, 2}, {3, 3}}}
 	out := g.OutDegrees()
 	in := g.InDegrees()
-	wantOut := []int{2, 1, 0, 1}
-	wantIn := []int{0, 1, 2, 1}
+	wantOut := []uint32{2, 1, 0, 1}
+	wantIn := []uint32{0, 1, 2, 1}
 	for v := range wantOut {
 		if out[v] != wantOut[v] {
 			t.Errorf("out-degree(%d) = %d, want %d", v, out[v], wantOut[v])
@@ -438,7 +438,7 @@ func TestOutDegreesMemoized(t *testing.T) {
 
 	fresh := &Graph{NumVertices: 64, Edges: mustChain(t, 64).Edges}
 	var wg sync.WaitGroup
-	got := make([][]int, 8)
+	got := make([][]uint32, 8)
 	for i := range got {
 		wg.Add(1)
 		go func(i int) {

@@ -18,6 +18,18 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// SplitMix64 is the finalizer of the splitmix64 generator: a bijective
+// avalanche mix of the input. It derives statistically independent child
+// seeds from (seed, label) pairs — the graph generators use it to give
+// every generation chunk its own RNG stream so chunks can be produced in
+// parallel, in any order, with byte-identical output.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

@@ -51,6 +51,25 @@ func BuildParallel(g *graph.Graph, a Assigner, workers int) (*Grid, error) {
 		return nil, fmt.Errorf("partition: %d intervals produce more blocks than addressable", p)
 	}
 
+	// Prepared fast path: a graph loaded from a v2 container may carry
+	// the stored grid layout. When the requested partitioning matches it
+	// exactly — same P, same assignment family, same weightedness — the
+	// stored layout IS the layout this build would produce (StreamGridInto
+	// and BuildParallel are byte-identical by construction, pinned by the
+	// stream tests), so return it without touching the edge list. Only
+	// the two production assigners qualify; a custom Assigner could
+	// disagree with the stored family even at equal P.
+	switch a.(type) {
+	case *Hashed:
+		if off, edges, w, ok := g.PreparedGrid(p, false, g.Weights != nil); ok {
+			return &Grid{Assigner: a, edges: edges, weights: w, offsets: off}, nil
+		}
+	case *Contiguous:
+		if off, edges, w, ok := g.PreparedGrid(p, true, g.Weights != nil); ok {
+			return &Grid{Assigner: a, edges: edges, weights: w, offsets: off}, nil
+		}
+	}
+
 	// Chunking: one chunk per worker, but never so many that histogram
 	// storage (chunks·P² cursors) dwarfs the edge list itself.
 	chunks := parallel.Workers(workers)
@@ -165,6 +184,26 @@ func fillBlockIDs(a Assigner, edges []graph.Edge, ids []int32, lo, hi int, count
 			counts[b]++
 		}
 	}
+}
+
+// GridFromParts assembles a Grid directly from pre-built storage —
+// offsets delimiting p²+1 block boundaries over edges (and optional
+// per-edge weights). Used by the streaming builder's readback path and
+// by verifiers over v2 container grid sections. The slices are aliased,
+// not copied, and must be treated as read-only.
+func GridFromParts(a Assigner, offsets []int64, edges []graph.Edge, weights []float32) (*Grid, error) {
+	nb := a.P() * a.P()
+	if len(offsets) != nb+1 {
+		return nil, fmt.Errorf("partition: %d offsets for %d blocks", len(offsets), nb)
+	}
+	if offsets[0] != 0 || offsets[nb] != int64(len(edges)) {
+		return nil, fmt.Errorf("partition: offsets span [%d,%d], edges span [0,%d]",
+			offsets[0], offsets[nb], len(edges))
+	}
+	if weights != nil && len(weights) != len(edges) {
+		return nil, fmt.Errorf("partition: %d weights for %d edges", len(weights), len(edges))
+	}
+	return &Grid{Assigner: a, edges: edges, weights: weights, offsets: offsets}, nil
 }
 
 // BuildBuckets partitions g with per-block dynamic arrays (append-based),
