@@ -12,6 +12,7 @@
 //	hyve-check -cache-dir c          # share the on-disk result cache
 //	hyve-check -no-cache             # private machine per point
 //	hyve-check -pprof :6060          # serve pprof, /metrics, /debug/flight
+//	hyve-check -points 16 -workers 4 # sweep through the cluster machinery
 //
 // By default the sweep resolves machines through a per-sweep in-memory
 // cache scheduler; -cache-dir shares the persistent content-addressed
@@ -40,6 +41,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/check"
+	"repro/internal/cluster/jobs"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -64,6 +66,7 @@ func run(args []string, out, errOut io.Writer) int {
 	cacheDir := fs.String("cache-dir", "", "share the on-disk content-addressed result cache rooted here")
 	noCache := fs.Bool("no-cache", false, "disable machine/result sharing; every point builds privately")
 	pprof := fs.String("pprof", "", "serve pprof, expvar, /metrics, /debug/flight, and /debug/trace on this address (e.g. :6060)")
+	workers := fs.Int("workers", -1, "run the sweep through the cluster machinery with this many in-process workers (requires -points; 0 = coordinator-local degradation path; -1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,7 +103,7 @@ func run(args []string, out, errOut io.Writer) int {
 		sched = cache.New(cache.Config{Dir: *cacheDir})
 	}
 
-	sum, err := check.Run(check.Options{
+	opt := check.Options{
 		Seed:         *seed,
 		Points:       *points,
 		Duration:     *duration,
@@ -108,7 +111,20 @@ func run(args []string, out, errOut io.Writer) int {
 		Out:          out,
 		PointTimeout: *pointTimeout,
 		Cache:        sched,
-	})
+	}
+	var sum *check.Summary
+	var err error
+	if *workers >= 0 {
+		// The distributed path needs a dense index space up front, so a
+		// duration-bounded sweep cannot ride it.
+		if *points <= 0 {
+			fmt.Fprintln(errOut, "hyve-check: -workers requires an explicit -points count")
+			return 2
+		}
+		sum, err = jobs.RunCheckCluster(opt, *workers)
+	} else {
+		sum, err = check.Run(opt)
+	}
 	if err != nil {
 		fmt.Fprintf(errOut, "hyve-check: %v\n", err)
 		return 2

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// chaosCoord builds a RealClock coordinator with aggressive timings so
+// fault paths resolve in test time: 300ms leases, 75ms heartbeats,
+// 500ms idle timeout, local degradation on.
+func chaosCoord(t *testing.T, points, shardSize int, local bool) *Coordinator {
+	t.Helper()
+	job := testJob{points: points}
+	cfg := CoordinatorConfig{
+		Spec:        []byte(`{"kind":"test"}`),
+		Points:      points,
+		ShardSize:   shardSize,
+		LeaseTTL:    300 * time.Millisecond,
+		Heartbeat:   75 * time.Millisecond,
+		IdleTimeout: 500 * time.Millisecond,
+		Validate:    job.Validate,
+	}
+	if local {
+		cfg.Local = job
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return c
+}
+
+// runCoord drives Run in the background and returns a wait func.
+func runCoord(t *testing.T, c *Coordinator) func() error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Run(ctx) }()
+	return func() error {
+		defer cancel()
+		return <-errCh
+	}
+}
+
+func checkMerged(t *testing.T, c *Coordinator) {
+	t.Helper()
+	for i, p := range c.Results() {
+		if !bytes.Equal(p, payloadFor(i)) {
+			t.Fatalf("point %d merged as %q", i, p)
+		}
+	}
+}
+
+// rawClient speaks the wire protocol by hand — the chaos tests' way of
+// being a worker that misbehaves in precisely chosen ways.
+type rawClient struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialRaw(t *testing.T, c *Coordinator) *rawClient {
+	t.Helper()
+	server, client := net.Pipe()
+	go c.ServeConn(server)
+	return &rawClient{t: t, conn: client}
+}
+
+func (r *rawClient) call(typ byte, payload []byte) (byte, []byte, error) {
+	if err := writeFrame(r.conn, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(r.conn)
+}
+
+// handshake completes hello → job and returns.
+func (r *rawClient) handshake(name string) {
+	r.t.Helper()
+	hello, err := encodeMsg(helloMsg{Name: name, Pid: 1})
+	if err != nil {
+		r.t.Fatalf("encode hello: %v", err)
+	}
+	typ, _, err := r.call(fHello, hello)
+	if err != nil || typ != fJob {
+		r.t.Fatalf("handshake: type %d err %v", typ, err)
+	}
+}
+
+// lease requests work, failing the test if none is granted.
+func (r *rawClient) lease() leaseMsg {
+	r.t.Helper()
+	typ, payload, err := r.call(fLeaseReq, nil)
+	if err != nil || typ != fLease {
+		r.t.Fatalf("lease: type %d err %v", typ, err)
+	}
+	var l leaseMsg
+	if err := decodeMsg(payload, &l); err != nil {
+		r.t.Fatalf("lease decode: %v", err)
+	}
+	return l
+}
+
+// TestChaosGarbageFrames: a connection that sends garbage after taking
+// a lease is dropped and its lease reclaimed; the sweep completes
+// through the local executor with correct bytes.
+func TestChaosGarbageFrames(t *testing.T) {
+	c := chaosCoord(t, 6, 2, true)
+	// Take the lease before Run starts the local pump, so the vandal
+	// deterministically holds work when it misbehaves.
+	r := dialRaw(t, c)
+	r.handshake("vandal")
+	r.lease()
+	wait := runCoord(t, c)
+	r.conn.Write(bytes.Repeat([]byte{0x5A}, 64)) // not a frame
+	// The coordinator must hang up on us.
+	r.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := r.conn.Read(one[:]); err == nil {
+		t.Fatal("coordinator kept talking to a garbage-spewing worker")
+	}
+
+	if err := wait(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkMerged(t, c)
+	if st := c.Stats(); st.Reclaimed == 0 {
+		t.Fatalf("garbage worker's lease never reclaimed: %+v", st)
+	}
+}
+
+// TestChaosStalledHeartbeat: a worker that takes a lease and goes
+// silent loses it at the TTL; the sweep completes without it.
+func TestChaosStalledHeartbeat(t *testing.T) {
+	c := chaosCoord(t, 6, 2, true)
+	r := dialRaw(t, c)
+	r.handshake("sleeper")
+	lease := r.lease()
+	wait := runCoord(t, c)
+	// Stall: no heartbeats, no results. The janitor reclaims at the
+	// TTL, long before our connection's idle timeout would.
+	if err := wait(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkMerged(t, c)
+	st := c.Stats()
+	if st.Expired == 0 {
+		t.Fatalf("stalled lease never expired: %+v", st)
+	}
+
+	// The late reply from the reclaimed lease is discarded, not merged.
+	ackT, payload, err := r.call(fResult, encodeResultFrame(lease.Shard, lease.Gen, lease.Start, []byte("late-garbage")))
+	if err == nil && ackT == fAck {
+		var ack ackMsg
+		if decodeMsg(payload, &ack) == nil && ack.OK {
+			t.Fatal("late reply from a reclaimed lease was accepted")
+		}
+	}
+	checkMerged(t, c)
+}
+
+// TestChaosSlowLoris: a connection that trickles half a frame and stops
+// is cut off by the read deadline; its lease comes back.
+func TestChaosSlowLoris(t *testing.T) {
+	c := chaosCoord(t, 4, 2, true)
+	r := dialRaw(t, c)
+	r.handshake("loris")
+	r.lease()
+	wait := runCoord(t, c)
+	// Half a frame header, then silence.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, fLeaseReq, nil); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	r.conn.Write(buf.Bytes()[:7])
+
+	r.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := r.conn.Read(one[:]); err == nil {
+		t.Fatal("coordinator kept a slow-loris connection open")
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkMerged(t, c)
+}
+
+// TestChaosDisconnectReclaim: a worker that vanishes mid-lease has the
+// lease reclaimed immediately on disconnect (no TTL wait).
+func TestChaosDisconnectReclaim(t *testing.T) {
+	c := chaosCoord(t, 6, 3, true)
+	r := dialRaw(t, c)
+	r.handshake("quitter")
+	r.lease()
+	wait := runCoord(t, c)
+	r.conn.Close()
+
+	if err := wait(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkMerged(t, c)
+	if st := c.Stats(); st.Reclaimed == 0 {
+		t.Fatalf("disconnected worker's lease never reclaimed: %+v", st)
+	}
+}
+
+// TestChaosRealWorkerRecovers: an actual RunWorker (not a raw client)
+// alongside a misbehaving one — the real worker and the local executor
+// between them always finish the sweep with exact bytes.
+func TestChaosRealWorkerRecovers(t *testing.T) {
+	c := chaosCoord(t, 12, 2, true)
+
+	// The vandal grabs a lease first, then disconnects mid-hold.
+	r := dialRaw(t, c)
+	r.handshake("vandal")
+	r.lease()
+	wait := runCoord(t, c)
+
+	// One well-behaved in-process worker.
+	server, client := net.Pipe()
+	go c.ServeConn(server)
+	workerDone := make(chan error, 1)
+	go func() {
+		_, err := RunWorker(context.Background(), client, WorkerConfig{
+			Name:    "good",
+			Factory: func(spec []byte) (Job, error) { return testJob{points: 12}, nil },
+		})
+		workerDone <- err
+	}()
+
+	r.conn.Close()
+
+	if err := wait(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkMerged(t, c)
+	select {
+	case <-workerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("well-behaved worker never exited after sweep completion")
+	}
+}

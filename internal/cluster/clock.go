@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// FakeClock is a manually advanced Clock for tests: Now returns the
+// set time, and After fires when Advance moves past the deadline. It
+// exists so lease-lifecycle tests can walk grant → heartbeat → expiry →
+// reclaim deterministically, without sleeping.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at t.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{now: t} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock: the returned channel fires (once) when the
+// clock has been advanced to or past now+d. A nonpositive d fires
+// immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d and fires every waiter whose
+// deadline has passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var keep []fakeWaiter
+	var fire []fakeWaiter
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			fire = append(fire, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+	now := c.now
+	c.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}

@@ -1,0 +1,73 @@
+// Package cluster shards a sweep's point index space across processes
+// and machines: a coordinator cuts [0, points) into fixed-size shards,
+// leases shard ranges to workers over a length-framed CRC-checked TCP
+// protocol, and merges the returned per-point payloads into one
+// index-addressed artifact — byte-identical to a single-process run,
+// because every payload is deterministic and the merge is by index.
+//
+// The coordinator never trusts a worker more than the local fault
+// machinery trusts a goroutine. Every lease carries a TTL and a
+// generation number; workers heartbeat to keep a lease alive, and a
+// worker that misses heartbeats, disconnects, trickles bytes, or
+// returns bytes that fail validation loses the lease: the shard goes
+// back to pending behind a capped jittered exponential backoff and is
+// reassigned — to another worker, or to the coordinator's own local
+// executor when no workers are live (graceful degradation to pure
+// local execution). A late reply from a reclaimed lease carries a
+// stale generation and is discarded, never double-merged; a shard that
+// distinct workers keep failing is quarantined as poisoned rather than
+// wedging the sweep forever.
+//
+// The payload contract is deliberately minimal: a Job maps a point
+// index to canonical bytes (the sim job returns cache.EncodeResult
+// documents; the check job returns hyve/checkpoint/v1 docs), and
+// Validate rejects bytes a correct worker could never produce. The
+// coordinator additionally cross-checks re-delivered points byte for
+// byte — two workers disagreeing on a deterministic point is corruption
+// by definition.
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// Job is one distributable sweep: a dense point index space where every
+// index deterministically maps to a canonical byte payload. The same
+// Job definition runs on workers (Execute) and guards the coordinator's
+// merge (Validate).
+type Job interface {
+	// Points is the size of the index space.
+	Points() int
+	// Execute computes point i's canonical payload. It must be
+	// deterministic: every correct worker returns the same bytes for
+	// the same index, which is what makes merged artifacts
+	// byte-identical to a single-process run.
+	Execute(ctx context.Context, i int) ([]byte, error)
+	// Validate rejects a payload a correct execution of point i could
+	// not have produced (wrong schema, undecodable document). It runs
+	// on the coordinator before a payload is merged.
+	Validate(i int, payload []byte) error
+}
+
+// JobFactory builds a worker's Job from the spec bytes the coordinator
+// ships at handshake (internal/cluster/jobs supplies the production
+// factory).
+type JobFactory func(spec []byte) (Job, error)
+
+// Clock abstracts wall time for the lease machinery, so the grant →
+// heartbeat → expiry → reclaim lifecycle is unit-testable without real
+// waiting. Production uses RealClock.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock is the production Clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

@@ -1,0 +1,860 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// Coordinator defaults.
+const (
+	DefaultShardSize   = 4
+	DefaultLeaseTTL    = 10 * time.Second
+	DefaultPoisonAfter = 3
+)
+
+// localWorkerID names the coordinator's own degradation executor in
+// lease accounting and metrics.
+const localWorkerID = "local"
+
+// CoordinatorConfig configures one sweep's coordinator.
+type CoordinatorConfig struct {
+	// Spec is the opaque job description shipped to workers at
+	// handshake (see internal/cluster/jobs).
+	Spec []byte
+	// Points is the size of the sweep's index space.
+	Points int
+	// ShardSize is how many consecutive points one lease covers
+	// (0 = DefaultShardSize).
+	ShardSize int
+	// LeaseTTL is how long a lease survives without a heartbeat or a
+	// merged result before it is reclaimed (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Heartbeat is the interval workers are told to heartbeat at
+	// (0 = LeaseTTL/4).
+	Heartbeat time.Duration
+	// MaxShardLease caps one grant's total lifetime regardless of
+	// heartbeats (0 = 10×LeaseTTL): a slow-loris worker that heartbeats
+	// forever without finishing loses the shard anyway.
+	MaxShardLease time.Duration
+	// PoisonAfter quarantines a shard once this many distinct workers
+	// have failed it — corrupt payloads, execution errors, or
+	// byte-mismatched re-deliveries (0 = DefaultPoisonAfter). A
+	// quarantined shard fails the sweep instead of wedging it.
+	PoisonAfter int
+	// Backoff schedules a reclaimed shard's reassignment delay,
+	// decorrelated per shard id. Zero value = parallel package defaults.
+	Backoff parallel.Backoff
+	// IdleTimeout bounds how long a worker connection may sit without a
+	// complete frame (0 = max(4×Heartbeat, 10s)). A stalled or
+	// byte-trickling connection is dropped and its leases reclaimed.
+	IdleTimeout time.Duration
+	// Validate vets a payload before it is merged; required. A payload
+	// failing validation counts as that worker failing the shard.
+	Validate func(i int, payload []byte) error
+	// Local, when non-nil, is the coordinator's own executor: whenever
+	// zero remote workers are live (or LocalAlways is set) it leases
+	// shards through the same machinery and executes them in-process,
+	// so a coordinator with no workers still completes the sweep.
+	Local Job
+	// LocalAlways makes the local executor participate even while
+	// remote workers are live.
+	LocalAlways bool
+	// Clock abstracts time for the lease machinery (nil = RealClock).
+	Clock Clock
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the coordinator's counters for drivers.
+type Stats struct {
+	Shards, ShardsDone, ShardsLeased, ShardsPoisoned int
+	WorkersLive                                      int
+	Granted, Reclaimed, Expired, Reassigned          uint64
+	Merged, Duplicate, Corrupt                       uint64
+}
+
+type shardPhase int
+
+const (
+	shardPending shardPhase = iota
+	shardLeased
+	shardDone
+	shardPoisoned
+)
+
+type shard struct {
+	id, start, end int // points [start, end)
+	phase          shardPhase
+	gen            uint64 // bumped on every grant; results carry it
+	owner          string
+	grantedAt      time.Time
+	expiry         time.Time
+	grants         int
+	eligibleAt     time.Time       // reassignment backoff gate
+	failedBy       map[string]bool // distinct workers that failed it
+	remaining      int             // unmerged points
+	lastErr        string
+}
+
+type workerConn struct {
+	id   string
+	conn net.Conn
+}
+
+// Coordinator runs one sweep: it leases shards, merges validated
+// results by point index, reclaims leases from dead or misbehaving
+// workers, and completes when every shard is done (or fails when the
+// only path left is a poisoned shard).
+type Coordinator struct {
+	cfg CoordinatorConfig
+	clk Clock
+
+	mu      sync.Mutex
+	shards  []*shard
+	open    int // shards neither done nor poisoned
+	results [][]byte
+	merged  []bool
+	workers map[string]*workerConn
+	connSeq int
+
+	granted, reclaimed, expired, reassigned uint64
+	nMerged, nDuplicate, nCorrupt           uint64
+
+	doneCh   chan struct{}
+	doneOnce sync.Once
+	failure  error
+	wake     chan struct{} // nudges the local pump and janitor
+}
+
+// NewCoordinator builds a coordinator for one sweep.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Points <= 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs a positive point count, got %d", cfg.Points)
+	}
+	if len(cfg.Spec) == 0 {
+		return nil, errors.New("cluster: coordinator needs a job spec")
+	}
+	if cfg.Validate == nil {
+		return nil, errors.New("cluster: coordinator needs a Validate hook")
+	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = DefaultShardSize
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = cfg.LeaseTTL / 4
+	}
+	if cfg.MaxShardLease <= 0 {
+		cfg.MaxShardLease = 10 * cfg.LeaseTTL
+	}
+	if cfg.PoisonAfter <= 0 {
+		cfg.PoisonAfter = DefaultPoisonAfter
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 4 * cfg.Heartbeat
+		if cfg.IdleTimeout < 10*time.Second {
+			cfg.IdleTimeout = 10 * time.Second
+		}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		results: make([][]byte, cfg.Points),
+		merged:  make([]bool, cfg.Points),
+		workers: map[string]*workerConn{},
+		doneCh:  make(chan struct{}),
+		wake:    make(chan struct{}, 1),
+	}
+	for start := 0; start < cfg.Points; start += cfg.ShardSize {
+		end := start + cfg.ShardSize
+		if end > cfg.Points {
+			end = cfg.Points
+		}
+		c.shards = append(c.shards, &shard{
+			id: len(c.shards), start: start, end: end,
+			remaining: end - start, failedBy: map[string]bool{},
+		})
+	}
+	c.open = len(c.shards)
+	rec := obs.Default()
+	RegisterMetrics(rec)
+	rec.Gauge(MetricShardsKnown, float64(len(c.shards)))
+	return c, nil
+}
+
+// Done returns a channel closed when the sweep has finished (all shards
+// done, or only poisoned shards left).
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Err returns the sweep's verdict after Done is closed: nil on a fully
+// merged sweep, or an error naming the poisoned shards.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failure
+}
+
+// Stats snapshots the counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Shards:      len(c.shards),
+		WorkersLive: len(c.workers),
+		Granted:     c.granted, Reclaimed: c.reclaimed, Expired: c.expired,
+		Reassigned: c.reassigned, Merged: c.nMerged, Duplicate: c.nDuplicate,
+		Corrupt: c.nCorrupt,
+	}
+	for _, sh := range c.shards {
+		switch sh.phase {
+		case shardDone:
+			s.ShardsDone++
+		case shardLeased:
+			s.ShardsLeased++
+		case shardPoisoned:
+			s.ShardsPoisoned++
+		}
+	}
+	return s
+}
+
+// Results returns the merged payloads in point-index order. Valid only
+// after Done; indices of poisoned shards are nil.
+func (c *Coordinator) Results() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.results
+}
+
+// WriteArtifact concatenates the merged payloads in index order into an
+// atomically written artifact — byte-identical to a single-process run
+// of the same job, which is the whole contract.
+func (c *Coordinator) WriteArtifact(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failure != nil {
+		return fmt.Errorf("cluster: refusing to write a partial artifact: %w", c.failure)
+	}
+	results := c.results
+	return obs.WriteAtomic(path, func(w io.Writer) error {
+		for i, p := range results {
+			if p == nil {
+				return fmt.Errorf("cluster: point %d missing from merge", i)
+			}
+			if _, err := w.Write(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Run drives the sweep to completion: it starts the expiry janitor and
+// the local degradation pump, then blocks until the sweep finishes or
+// ctx is cancelled. Serve/ServeConn feed it remote workers concurrently.
+func (c *Coordinator) Run(ctx context.Context) error {
+	janitorCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	go c.janitor(janitorCtx)
+	if c.cfg.Local != nil {
+		go c.localPump(janitorCtx)
+	}
+	select {
+	case <-c.doneCh:
+		return c.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Serve accepts worker connections until the sweep completes or the
+// listener is closed.
+func (c *Coordinator) Serve(ln net.Listener) {
+	go func() {
+		<-c.doneCh
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the coordinator side of the protocol over one worker
+// connection (any net.Conn: TCP in production, net.Pipe in-process).
+// Every defect — handshake failure, corrupt frame, idle timeout —
+// drops the connection and reclaims its leases.
+func (c *Coordinator) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	rec := obs.Default()
+	deadline := func() {
+		if c.cfg.IdleTimeout > 0 {
+			conn.SetDeadline(time.Now().Add(c.cfg.IdleTimeout))
+		}
+	}
+
+	deadline()
+	typ, payload, err := readFrame(conn)
+	if err != nil || typ != fHello {
+		rec.Count(MetricFramesBad, 1)
+		return
+	}
+	var hello helloMsg
+	if err := decodeMsg(payload, &hello); err != nil {
+		rec.Count(MetricFramesBad, 1)
+		return
+	}
+	id := c.register(hello, conn)
+	defer c.release(id)
+	c.logf("cluster: worker %s connected", id)
+
+	job, err := encodeMsg(jobMsg{
+		Spec:        c.cfg.Spec,
+		Points:      c.cfg.Points,
+		HeartbeatMS: c.cfg.Heartbeat.Milliseconds(),
+		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+	})
+	if err != nil {
+		return
+	}
+	deadline()
+	if writeFrame(conn, fJob, job) != nil {
+		return
+	}
+
+	for {
+		deadline()
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if err != io.EOF {
+				rec.Count(MetricFramesBad, 1)
+				c.logf("cluster: worker %s dropped: %v", id, err)
+			}
+			return
+		}
+		resp, rtyp, err := c.dispatch(id, typ, payload)
+		if err != nil {
+			rec.Count(MetricFramesBad, 1)
+			c.logf("cluster: worker %s sent a bad frame: %v", id, err)
+			return
+		}
+		if rtyp == 0 { // bye
+			return
+		}
+		deadline()
+		if writeFrame(conn, rtyp, resp) != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one worker request, returning the response frame.
+// A returned error means the connection is beyond trust and must drop.
+func (c *Coordinator) dispatch(id string, typ byte, payload []byte) (resp []byte, rtyp byte, err error) {
+	switch typ {
+	case fLeaseReq:
+		if len(payload) != 0 {
+			return nil, 0, errors.New("lease request with a payload")
+		}
+		lease, ok, done := c.grant(id)
+		if ok {
+			b, err := encodeMsg(lease)
+			return b, fLease, err
+		}
+		retry := c.cfg.Heartbeat
+		b, err := encodeMsg(noWorkMsg{Done: done, RetryMS: retry.Milliseconds()})
+		return b, fNoWork, err
+	case fHeartbeat:
+		var hb hbMsg
+		if err := decodeMsg(payload, &hb); err != nil {
+			return nil, 0, err
+		}
+		ack := c.heartbeat(id, hb.Shard, hb.Gen)
+		b, err := encodeMsg(ack)
+		return b, fAck, err
+	case fResult:
+		sh, gen, index, body, err := decodeResultFrame(payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		ack := c.result(id, sh, gen, index, body)
+		b, err := encodeMsg(ack)
+		return b, fAck, err
+	case fPointErr:
+		var pe pointErrMsg
+		if err := decodeMsg(payload, &pe); err != nil {
+			return nil, 0, err
+		}
+		ack := c.pointFailed(id, pe.Shard, pe.Gen, pe.Index, pe.Err)
+		b, err := encodeMsg(ack)
+		return b, fAck, err
+	case fShardDone:
+		var sd hbMsg
+		if err := decodeMsg(payload, &sd); err != nil {
+			return nil, 0, err
+		}
+		ack := c.shardDone(id, sd.Shard, sd.Gen)
+		b, err := encodeMsg(ack)
+		return b, fAck, err
+	case fBye:
+		return nil, 0, nil
+	default:
+		return nil, 0, fmt.Errorf("unexpected frame type %d from a worker", typ)
+	}
+}
+
+// register adds a worker connection under a session-unique id.
+func (c *Coordinator) register(hello helloMsg, conn net.Conn) string {
+	c.mu.Lock()
+	c.connSeq++
+	name := hello.Name
+	if name == "" {
+		name = "worker"
+	}
+	id := name + "#" + strconv.Itoa(c.connSeq)
+	c.workers[id] = &workerConn{id: id, conn: conn}
+	live := len(c.workers)
+	c.mu.Unlock()
+	rec := obs.Default()
+	rec.Count(MetricWorkersJoined, 1)
+	rec.Gauge(MetricWorkersLive, float64(live))
+	obs.Flight().Record("cluster.worker.joined", id)
+	return id
+}
+
+// release drops a worker and reclaims every lease it held.
+func (c *Coordinator) release(id string) {
+	c.mu.Lock()
+	if _, ok := c.workers[id]; !ok {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.workers, id)
+	live := len(c.workers)
+	var reclaimedShards []int
+	for _, s := range c.shards {
+		if s.phase == shardLeased && s.owner == id {
+			c.reclaimLocked(s, "worker disconnected")
+			reclaimedShards = append(reclaimedShards, s.id)
+		}
+	}
+	c.mu.Unlock()
+	rec := obs.Default()
+	rec.Count(MetricWorkersLost, 1)
+	rec.Gauge(MetricWorkersLive, float64(live))
+	obs.Flight().Record("cluster.worker.lost", id)
+	if len(reclaimedShards) > 0 {
+		c.logf("cluster: worker %s lost; reclaimed shards %v", id, reclaimedShards)
+	}
+	c.nudge()
+}
+
+// grant leases the lowest-id eligible pending shard to the worker.
+// done reports that the sweep has finished and the worker may exit.
+func (c *Coordinator) grant(worker string) (leaseMsg, bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.open == 0 {
+		return leaseMsg{}, false, true
+	}
+	now := c.clk.Now()
+	// Prefer shards this worker has not failed; fall back to any
+	// eligible shard so a lone worker can still retry (the grants cap
+	// in failLocked bounds that loop).
+	var pick *shard
+	for pass := 0; pass < 2 && pick == nil; pass++ {
+		for _, s := range c.shards {
+			if s.phase != shardPending || s.eligibleAt.After(now) {
+				continue
+			}
+			if pass == 0 && s.failedBy[worker] {
+				continue
+			}
+			pick = s
+			break
+		}
+	}
+	if pick == nil {
+		return leaseMsg{}, false, false
+	}
+	pick.phase = shardLeased
+	pick.gen++
+	pick.owner = worker
+	pick.grantedAt = now
+	pick.expiry = now.Add(c.cfg.LeaseTTL)
+	pick.grants++
+	c.granted++
+	rec := obs.Default()
+	rec.Count(MetricLeasesGranted, 1)
+	if pick.grants > 1 {
+		c.reassigned++
+		rec.Count(MetricShardsReassigned, 1)
+	}
+	c.gaugeLeasedLocked(rec)
+	obs.Flight().Record("cluster.lease.granted", strconv.Itoa(pick.id),
+		"worker", worker, "gen", strconv.FormatUint(pick.gen, 10))
+	return leaseMsg{
+		Shard: pick.id, Gen: pick.gen, Start: pick.start, End: pick.end,
+		TTLMS: c.cfg.LeaseTTL.Milliseconds(),
+	}, true, false
+}
+
+// heartbeat extends a live lease; a stale or capped lease is refused,
+// telling the worker to abandon the shard.
+func (c *Coordinator) heartbeat(worker string, shardID int, gen uint64) ackMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.leaseLocked(worker, shardID, gen)
+	if !ok {
+		return ackMsg{OK: false, Reason: "stale lease"}
+	}
+	now := c.clk.Now()
+	if now.Sub(s.grantedAt) > c.cfg.MaxShardLease {
+		// Heartbeats alone cannot hold a shard forever: a slow-loris
+		// worker that pings but never produces loses the lease.
+		c.reclaimLocked(s, "lease lifetime cap exceeded")
+		return ackMsg{OK: false, Reason: "lease lifetime cap exceeded"}
+	}
+	s.expiry = now.Add(c.cfg.LeaseTTL)
+	return ackMsg{OK: true}
+}
+
+// result validates and merges one point payload. Progress extends the
+// lease; a stale generation (a late reply from a reclaimed lease) is
+// discarded; a payload failing validation, landing outside the lease,
+// or contradicting already-merged bytes fails the lease.
+func (c *Coordinator) result(worker string, shardID int, gen uint64, index int, payload []byte) ackMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec := obs.Default()
+	s, ok := c.leaseLocked(worker, shardID, gen)
+	if !ok {
+		c.nDuplicate++
+		rec.Count(MetricResultsDuplicate, 1)
+		obs.Flight().Record("cluster.result.stale", strconv.Itoa(shardID),
+			"worker", worker, "index", strconv.Itoa(index))
+		return ackMsg{OK: false, Reason: "stale lease"}
+	}
+	if index < s.start || index >= s.end {
+		return c.failLocked(s, worker, fmt.Sprintf("result index %d outside lease [%d, %d)", index, s.start, s.end))
+	}
+	if c.merged[index] {
+		if !bytes.Equal(c.results[index], payload) {
+			// Two workers disagreeing on a deterministic point: one of
+			// them is corrupt, and this one is the one still talking.
+			return c.failLocked(s, worker, fmt.Sprintf("point %d re-delivered with different bytes", index))
+		}
+		// A re-granted shard re-executing an already-merged point:
+		// consistent, so acknowledge and move on.
+		c.nDuplicate++
+		rec.Count(MetricResultsDuplicate, 1)
+		s.expiry = c.clk.Now().Add(c.cfg.LeaseTTL)
+		return ackMsg{OK: true}
+	}
+	if err := c.cfg.Validate(index, payload); err != nil {
+		return c.failLocked(s, worker, fmt.Sprintf("point %d payload invalid: %v", index, err))
+	}
+	c.results[index] = append([]byte(nil), payload...)
+	c.merged[index] = true
+	s.remaining--
+	s.expiry = c.clk.Now().Add(c.cfg.LeaseTTL)
+	c.nMerged++
+	rec.Count(MetricResultsMerged, 1)
+	rec.Count(obs.WithLabel(MetricWorkerPoints, "worker", worker), 1)
+	if s.remaining == 0 {
+		// The shard is complete the moment its last point merges — a
+		// worker dying between its last result and its ShardDone costs
+		// nothing.
+		c.completeLocked(s, rec)
+	}
+	return ackMsg{OK: true}
+}
+
+// pointFailed records a worker's own report that executing a point
+// failed. Deterministic failures fail everywhere, so this feeds the
+// poison quarantine exactly like a corrupt payload.
+func (c *Coordinator) pointFailed(worker string, shardID int, gen uint64, index int, msg string) ackMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.leaseLocked(worker, shardID, gen)
+	if !ok {
+		return ackMsg{OK: false, Reason: "stale lease"}
+	}
+	return c.failLocked(s, worker, fmt.Sprintf("point %d execution failed on %s: %s", index, worker, msg))
+}
+
+// shardDone acknowledges a completed lease. The merge path usually
+// completed the shard already; an owner claiming done with unmerged
+// points is misbehaving.
+func (c *Coordinator) shardDone(worker string, shardID int, gen uint64) ackMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shardID < 0 || shardID >= len(c.shards) {
+		return ackMsg{OK: false, Reason: "unknown shard"}
+	}
+	s := c.shards[shardID]
+	if s.phase == shardDone {
+		return ackMsg{OK: true}
+	}
+	if s.phase != shardLeased || s.owner != worker || s.gen != gen {
+		return ackMsg{OK: false, Reason: "stale lease"}
+	}
+	if s.remaining > 0 {
+		return c.failLocked(s, worker, fmt.Sprintf("done claimed with %d points unmerged", s.remaining))
+	}
+	c.completeLocked(s, obs.Default())
+	return ackMsg{OK: true}
+}
+
+// leaseLocked resolves (worker, shard, gen) to a live lease.
+func (c *Coordinator) leaseLocked(worker string, shardID int, gen uint64) (*shard, bool) {
+	if shardID < 0 || shardID >= len(c.shards) {
+		return nil, false
+	}
+	s := c.shards[shardID]
+	if s.phase != shardLeased || s.owner != worker || s.gen != gen {
+		return nil, false
+	}
+	return s, true
+}
+
+// completeLocked marks a leased shard done.
+func (c *Coordinator) completeLocked(s *shard, rec obs.Recorder) {
+	s.phase = shardDone
+	s.owner = ""
+	c.open--
+	rec.Count(MetricLeasesCompleted, 1)
+	obs.Observe(rec, MetricShardAttempts, float64(s.grants))
+	c.gaugeLeasedLocked(rec)
+	obs.Flight().Record("cluster.shard.done", strconv.Itoa(s.id),
+		"grants", strconv.Itoa(s.grants))
+	if c.open == 0 {
+		c.finishLocked()
+	}
+}
+
+// failLocked records worker failing shard s: the lease is reclaimed
+// behind backoff, and once PoisonAfter distinct workers (or an
+// unreasonable number of grants) have failed it, the shard is
+// quarantined as poisoned.
+func (c *Coordinator) failLocked(s *shard, worker, reason string) ackMsg {
+	rec := obs.Default()
+	c.nCorrupt++
+	rec.Count(MetricResultsCorrupt, 1)
+	s.failedBy[worker] = true
+	s.lastErr = reason
+	c.logf("cluster: shard %d failed by %s: %s", s.id, worker, reason)
+	c.reclaimLocked(s, reason)
+	if len(s.failedBy) >= c.cfg.PoisonAfter || s.grants >= 4*c.cfg.PoisonAfter {
+		s.phase = shardPoisoned
+		c.open--
+		rec.Count(MetricShardsPoisoned, 1)
+		c.gaugeLeasedLocked(rec)
+		obs.Flight().Record("cluster.shard.poisoned", strconv.Itoa(s.id), "reason", reason)
+		c.logf("cluster: shard %d poisoned after %d distinct failures: %s", s.id, len(s.failedBy), reason)
+		if c.open == 0 {
+			c.finishLocked()
+		}
+	}
+	return ackMsg{OK: false, Reason: reason}
+}
+
+// reclaimLocked returns a leased shard to pending behind its backoff.
+func (c *Coordinator) reclaimLocked(s *shard, reason string) {
+	if s.phase != shardLeased {
+		return
+	}
+	s.phase = shardPending
+	s.owner = ""
+	s.eligibleAt = c.clk.Now().Add(c.cfg.Backoff.ForKey(uint64(s.id)).Delay(s.grants - 1))
+	c.reclaimed++
+	rec := obs.Default()
+	rec.Count(MetricLeasesReclaimed, 1)
+	c.gaugeLeasedLocked(rec)
+	obs.Flight().Record("cluster.lease.reclaimed", strconv.Itoa(s.id), "reason", reason)
+}
+
+// finishLocked settles the sweep's verdict and closes Done.
+func (c *Coordinator) finishLocked() {
+	var poisoned []int
+	last := ""
+	for _, s := range c.shards {
+		if s.phase == shardPoisoned {
+			poisoned = append(poisoned, s.id)
+			last = s.lastErr
+		}
+	}
+	if len(poisoned) > 0 {
+		sort.Ints(poisoned)
+		c.failure = fmt.Errorf("cluster: %d shard(s) poisoned %v; last failure: %s", len(poisoned), poisoned, last)
+	}
+	c.doneOnce.Do(func() { close(c.doneCh) })
+	c.nudge()
+}
+
+func (c *Coordinator) gaugeLeasedLocked(rec obs.Recorder) {
+	leased := 0
+	for _, s := range c.shards {
+		if s.phase == shardLeased {
+			leased++
+		}
+	}
+	rec.Gauge(MetricShardsLeased, float64(leased))
+}
+
+// janitor periodically reclaims expired leases. It scans at heartbeat
+// granularity — fine enough that a dead worker's shard is back in the
+// pool within about one TTL.
+func (c *Coordinator) janitor(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.doneCh:
+			return
+		case <-c.clk.After(c.cfg.Heartbeat):
+		}
+		c.reclaimExpired()
+	}
+}
+
+// reclaimExpired sweeps the lease table for expired or over-cap leases.
+func (c *Coordinator) reclaimExpired() {
+	c.mu.Lock()
+	now := c.clk.Now()
+	rec := obs.Default()
+	var hit bool
+	for _, s := range c.shards {
+		if s.phase != shardLeased {
+			continue
+		}
+		if now.After(s.expiry) || now.Sub(s.grantedAt) > c.cfg.MaxShardLease {
+			c.expired++
+			rec.Count(MetricLeasesExpired, 1)
+			owner := s.owner
+			c.reclaimLocked(s, "lease expired")
+			c.logf("cluster: lease on shard %d expired (worker %s)", s.id, owner)
+			hit = true
+		}
+	}
+	c.mu.Unlock()
+	if hit {
+		c.nudge()
+	}
+}
+
+// nudge wakes the local pump without blocking.
+func (c *Coordinator) nudge() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// localPump is the degradation executor: whenever zero remote workers
+// are live (or LocalAlways), it leases shards through the very same
+// grant/merge machinery and executes them in-process, heartbeating like
+// any worker — so a coordinator with no workers still completes, and a
+// cluster whose workers all die mid-sweep finishes what they started.
+func (c *Coordinator) localPump(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.doneCh:
+			return
+		default:
+		}
+		c.mu.Lock()
+		eligible := c.cfg.LocalAlways || len(c.workers) == 0
+		c.mu.Unlock()
+		var lease leaseMsg
+		var ok bool
+		if eligible {
+			var done bool
+			lease, ok, done = c.grant(localWorkerID)
+			if done {
+				return
+			}
+		}
+		if !ok {
+			select {
+			case <-ctx.Done():
+				return
+			case <-c.doneCh:
+				return
+			case <-c.wake:
+			case <-c.clk.After(c.cfg.Heartbeat):
+			}
+			continue
+		}
+		c.runLocalLease(ctx, lease)
+	}
+}
+
+// runLocalLease executes one locally held lease, heartbeating in the
+// background exactly like a remote worker would.
+func (c *Coordinator) runLocalLease(ctx context.Context, lease leaseMsg) {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-c.clk.After(c.cfg.Heartbeat):
+			}
+			if !c.heartbeat(localWorkerID, lease.Shard, lease.Gen).OK {
+				return
+			}
+		}
+	}()
+	for i := lease.Start; i < lease.End; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		payload, err := c.cfg.Local.Execute(ctx, i)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			c.pointFailed(localWorkerID, lease.Shard, lease.Gen, i, err.Error())
+			return
+		}
+		if !c.result(localWorkerID, lease.Shard, lease.Gen, i, payload).OK {
+			// Reclaimed from under us (or we produced garbage); either
+			// way the shard is no longer ours.
+			return
+		}
+	}
+	c.shardDone(localWorkerID, lease.Shard, lease.Gen)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// pid is a tiny indirection so tests can fake hello messages.
+func pid() int { return os.Getpid() }

@@ -1,0 +1,271 @@
+// Package jobs binds the cluster machinery to the repo's two real
+// sweeps: simulation sweeps (the hyve-sim cross product, one canonical
+// hyve/result/v1 document per point) and conformance sweeps (hyve-check
+// seeds, one hyve/checkpoint/v1 document per point). A Spec is the
+// self-describing envelope the coordinator ships to workers at
+// handshake; both sides build the identical Job from it, which is what
+// makes a worker's Execute and the coordinator's Validate agree.
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/check"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+
+	"repro/internal/algo"
+)
+
+// Spec is the wire envelope for a distributable sweep.
+type Spec struct {
+	Kind  string     `json:"kind"` // "sim" or "check"
+	Sim   *SimSpec   `json:"sim,omitempty"`
+	Check *CheckSpec `json:"check,omitempty"`
+}
+
+// SimSpec describes a simulation sweep: the same dataset-major cross
+// product hyve-sim runs, point i mapping to
+// (datasets[i/(A·C)], algos[(i/C)%A], configs[i%C]).
+type SimSpec struct {
+	Datasets []string `json:"datasets"`
+	Algos    []string `json:"algos"`
+	Configs  []string `json:"configs"`
+	SRAMMB   int64    `json:"sram_mb"`
+}
+
+// CheckSpec describes a conformance sweep: seeds Seed … Seed+Points-1.
+type CheckSpec struct {
+	Seed           uint64 `json:"seed"`
+	Points         int    `json:"points"`
+	PointTimeoutMS int64  `json:"point_timeout_ms,omitempty"`
+}
+
+// ExecOptions carries the local execution environment a spec does not
+// describe: the scheduler machines resolve through and where prepared
+// datasets live.
+type ExecOptions struct {
+	// Cache is the scheduler points resolve through (nil = a private
+	// in-memory scheduler per job).
+	Cache *cache.Scheduler
+	// PrepDir, when nonempty, loads datasets from hyve-prep containers
+	// (missing datasets are generated, exactly as everywhere else).
+	PrepDir string
+}
+
+// NewSimSpec encodes a simulation sweep spec, validating that every
+// named dataset, algorithm, and configuration resolves — a coordinator
+// should refuse an impossible sweep before leasing anything.
+func NewSimSpec(datasets, algos, configs []string, sramMB int64) ([]byte, error) {
+	if len(datasets) == 0 || len(algos) == 0 || len(configs) == 0 {
+		return nil, errors.New("jobs: a sim sweep needs at least one dataset, algorithm, and configuration")
+	}
+	for _, d := range datasets {
+		if _, err := graph.DatasetByName(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range algos {
+		if _, err := algo.ByName(a); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range configs {
+		if _, err := coreConfig(c); err != nil {
+			return nil, err
+		}
+	}
+	return encodeSpec(Spec{Kind: "sim", Sim: &SimSpec{
+		Datasets: datasets, Algos: algos, Configs: configs, SRAMMB: sramMB,
+	}})
+}
+
+// NewCheckSpec encodes a conformance sweep spec.
+func NewCheckSpec(seed uint64, points int, pointTimeout time.Duration) ([]byte, error) {
+	if points <= 0 {
+		return nil, errors.New("jobs: a check sweep needs an explicit positive point count")
+	}
+	return encodeSpec(Spec{Kind: "check", Check: &CheckSpec{
+		Seed: seed, Points: points, PointTimeoutMS: pointTimeout.Milliseconds(),
+	}})
+}
+
+func encodeSpec(s Spec) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encoding spec: %w", err)
+	}
+	return b, nil
+}
+
+// Decode builds the Job a spec describes. Both sides of the wire call
+// it: workers through Factory, coordinators directly (for Validate and
+// local degradation).
+func Decode(spec []byte, opt ExecOptions) (cluster.Job, error) {
+	dec := json.NewDecoder(bytes.NewReader(spec))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("jobs: decoding spec: %w", err)
+	}
+	if opt.PrepDir != "" {
+		graph.SetPreparedDir(opt.PrepDir)
+	}
+	sched := opt.Cache
+	if sched == nil {
+		sched = cache.New(cache.Config{})
+	}
+	switch s.Kind {
+	case "sim":
+		if s.Sim == nil {
+			return nil, errors.New("jobs: sim spec missing sim body")
+		}
+		if len(s.Sim.Datasets) == 0 || len(s.Sim.Algos) == 0 || len(s.Sim.Configs) == 0 {
+			return nil, errors.New("jobs: sim spec names no points")
+		}
+		return &simJob{spec: *s.Sim, sched: sched}, nil
+	case "check":
+		if s.Check == nil {
+			return nil, errors.New("jobs: check spec missing check body")
+		}
+		if s.Check.Points <= 0 {
+			return nil, errors.New("jobs: check spec names no points")
+		}
+		return &checkJob{spec: *s.Check, sched: sched}, nil
+	default:
+		return nil, fmt.Errorf("jobs: unknown spec kind %q", s.Kind)
+	}
+}
+
+// Factory adapts Decode into the worker-side cluster.JobFactory.
+func Factory(opt ExecOptions) cluster.JobFactory {
+	return func(spec []byte) (cluster.Job, error) { return Decode(spec, opt) }
+}
+
+// coreConfig resolves a sweep configuration name. Only the five core
+// configurations exist here: the analytic graphr/cpu baselines have no
+// canonical result document, so they cannot ride a distributed sweep
+// (exactly the hyve-sim -result rule).
+func coreConfig(name string) (core.Config, error) {
+	switch name {
+	case "hyve":
+		return core.HyVE(), nil
+	case "hyve-opt":
+		return core.HyVEOpt(), nil
+	case "sd":
+		return core.SRAMDRAM(), nil
+	case "dram":
+		return core.AccDRAM(), nil
+	case "reram":
+		return core.AccReRAM(), nil
+	}
+	return core.Config{}, fmt.Errorf("jobs: unknown config %q (a distributed sweep covers hyve, hyve-opt, sd, dram, reram)", name)
+}
+
+// simJob executes simulation points through the shared scheduler and
+// returns canonical hyve/result/v1 documents.
+type simJob struct {
+	spec  SimSpec
+	sched *cache.Scheduler
+}
+
+// Points implements cluster.Job.
+func (j *simJob) Points() int {
+	return len(j.spec.Datasets) * len(j.spec.Algos) * len(j.spec.Configs)
+}
+
+// pointAt maps a sweep index dataset-major, exactly as hyve-sim does —
+// the merged artifact's order is hyve-sim's output order.
+func (j *simJob) pointAt(i int) (dataset, algon, config string) {
+	perDataset := len(j.spec.Algos) * len(j.spec.Configs)
+	return j.spec.Datasets[i/perDataset],
+		j.spec.Algos[i/len(j.spec.Configs)%len(j.spec.Algos)],
+		j.spec.Configs[i%len(j.spec.Configs)]
+}
+
+// Execute implements cluster.Job.
+func (j *simJob) Execute(ctx context.Context, i int) ([]byte, error) {
+	if i < 0 || i >= j.Points() {
+		return nil, fmt.Errorf("jobs: sim point %d outside sweep of %d", i, j.Points())
+	}
+	dn, an, cn := j.pointAt(i)
+	d, err := graph.DatasetByName(dn)
+	if err != nil {
+		return nil, err
+	}
+	p, err := algo.ByName(an)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := core.WorkloadFor(d, p)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := coreConfig(cn)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.UseOnChipSRAM {
+		cfg.SRAMBytes = j.spec.SRAMMB << 20
+	}
+	r, err := j.sched.SimulateCtx(ctx, cfg, wl)
+	if err != nil {
+		return nil, err
+	}
+	return cache.EncodeResult(r)
+}
+
+// Validate implements cluster.Job: the payload must be a well-formed
+// canonical result document.
+func (j *simJob) Validate(i int, payload []byte) error {
+	if i < 0 || i >= j.Points() {
+		return fmt.Errorf("jobs: sim point %d outside sweep of %d", i, j.Points())
+	}
+	_, err := cache.DecodeResult(payload)
+	return err
+}
+
+// checkJob executes conformance points and returns canonical
+// hyve/checkpoint/v1 documents.
+type checkJob struct {
+	spec  CheckSpec
+	sched *cache.Scheduler
+}
+
+// Points implements cluster.Job.
+func (j *checkJob) Points() int { return j.spec.Points }
+
+// Execute implements cluster.Job.
+func (j *checkJob) Execute(ctx context.Context, i int) ([]byte, error) {
+	if i < 0 || i >= j.spec.Points {
+		return nil, fmt.Errorf("jobs: check point %d outside sweep of %d", i, j.spec.Points)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return check.RunPointDoc(j.spec.Seed+uint64(i),
+		time.Duration(j.spec.PointTimeoutMS)*time.Millisecond, j.sched)
+}
+
+// Validate implements cluster.Job: the payload must decode as a point
+// doc carrying exactly the seed index i maps to.
+func (j *checkJob) Validate(i int, payload []byte) error {
+	if i < 0 || i >= j.spec.Points {
+		return fmt.Errorf("jobs: check point %d outside sweep of %d", i, j.spec.Points)
+	}
+	doc, err := check.DecodePointDoc(payload)
+	if err != nil {
+		return err
+	}
+	if want := j.spec.Seed + uint64(i); doc.Seed != want {
+		return fmt.Errorf("jobs: check point %d carries seed %d, want %d", i, doc.Seed, want)
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// payloadFor is the test job's deterministic point payload.
+func payloadFor(i int) []byte { return []byte(fmt.Sprintf("point-%d\n", i)) }
+
+// newTestCoord builds a FakeClock coordinator over points with the
+// given shard size: valid payloads are exactly payloadFor(i).
+func newTestCoord(t *testing.T, points, shardSize int, clk Clock) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(CoordinatorConfig{
+		Spec:      []byte(`{"kind":"test"}`),
+		Points:    points,
+		ShardSize: shardSize,
+		LeaseTTL:  10 * time.Second,
+		Heartbeat: 2 * time.Second,
+		Backoff:   parallel.Backoff{Base: time.Second, Cap: 8 * time.Second, Jitter: -1},
+		Clock:     clk,
+		Validate: func(i int, payload []byte) error {
+			if !bytes.Equal(payload, payloadFor(i)) {
+				return fmt.Errorf("payload %q, want %q", payload, payloadFor(i))
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return c
+}
+
+// deliver merges every point of a lease and closes it out.
+func deliver(t *testing.T, c *Coordinator, worker string, lease leaseMsg) {
+	t.Helper()
+	for i := lease.Start; i < lease.End; i++ {
+		if ack := c.result(worker, lease.Shard, lease.Gen, i, payloadFor(i)); !ack.OK {
+			t.Fatalf("result %d refused: %s", i, ack.Reason)
+		}
+	}
+	if ack := c.shardDone(worker, lease.Shard, lease.Gen); !ack.OK {
+		t.Fatalf("shardDone refused: %s", ack.Reason)
+	}
+}
+
+// TestLeaseLifecycle walks the full story on a fake clock: grant →
+// heartbeat keeps it alive → heartbeats stop → expiry → reclaim →
+// reassignment to another worker at a higher generation → the late
+// reply from the dead worker's generation is discarded → the sweep
+// still completes with every point merged exactly once.
+func TestLeaseLifecycle(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	c := newTestCoord(t, 4, 4, clk)
+
+	lease, ok, done := c.grant("w1")
+	if !ok || done {
+		t.Fatalf("grant: ok=%v done=%v", ok, done)
+	}
+	if lease.Gen != 1 || lease.Start != 0 || lease.End != 4 {
+		t.Fatalf("lease %+v", lease)
+	}
+
+	// Heartbeats inside the TTL keep the lease alive across 3 TTLs.
+	for i := 0; i < 6; i++ {
+		clk.Advance(5 * time.Second)
+		c.reclaimExpired()
+		if ack := c.heartbeat("w1", lease.Shard, lease.Gen); !ack.OK {
+			t.Fatalf("heartbeat %d refused: %s", i, ack.Reason)
+		}
+	}
+
+	// w1 merges one point, then goes silent past the TTL.
+	if ack := c.result("w1", lease.Shard, lease.Gen, 0, payloadFor(0)); !ack.OK {
+		t.Fatalf("result refused: %s", ack.Reason)
+	}
+	clk.Advance(11 * time.Second)
+	c.reclaimExpired()
+	st := c.Stats()
+	if st.Expired != 1 || st.Reclaimed != 1 {
+		t.Fatalf("after expiry: %+v", st)
+	}
+	if ack := c.heartbeat("w1", lease.Shard, lease.Gen); ack.OK {
+		t.Fatal("heartbeat on an expired lease succeeded")
+	}
+
+	// The shard sits behind its reassignment backoff (1s for grant 1).
+	if _, ok, _ := c.grant("w2"); ok {
+		t.Fatal("granted a shard still inside its reassignment backoff")
+	}
+	clk.Advance(2 * time.Second)
+	lease2, ok, _ := c.grant("w2")
+	if !ok {
+		t.Fatal("no grant after backoff elapsed")
+	}
+	if lease2.Gen != 2 || lease2.Shard != lease.Shard {
+		t.Fatalf("reassigned lease %+v", lease2)
+	}
+
+	// w1's late replies carry the dead generation: discarded, even for
+	// a point it already merged.
+	if ack := c.result("w1", lease.Shard, lease.Gen, 1, payloadFor(1)); ack.OK {
+		t.Fatal("stale-generation result merged")
+	}
+	if ack := c.result("w1", lease.Shard, lease.Gen, 0, payloadFor(0)); ack.OK {
+		t.Fatal("stale-generation re-delivery accepted")
+	}
+
+	// w2 re-delivers the already-merged point 0 (same bytes: fine,
+	// counted duplicate) and finishes the rest.
+	deliver(t, c, "w2", lease2)
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("sweep not done after every point merged")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	st = c.Stats()
+	if st.Merged != 4 || st.Duplicate < 3 || st.Reassigned != 1 || st.ShardsDone != 1 {
+		t.Fatalf("final stats %+v", st)
+	}
+	for i, p := range c.Results() {
+		if !bytes.Equal(p, payloadFor(i)) {
+			t.Fatalf("merged point %d = %q", i, p)
+		}
+	}
+}
+
+// TestPoisonQuarantine: a shard that distinct workers keep corrupting
+// is quarantined instead of wedging the sweep, and the sweep fails
+// loudly.
+func TestPoisonQuarantine(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	c := newTestCoord(t, 2, 2, clk)
+
+	for n, w := range []string{"w1", "w2", "w3"} {
+		clk.Advance(time.Minute) // clear any reassignment backoff
+		lease, ok, done := c.grant(w)
+		if !ok || done {
+			t.Fatalf("grant %d to %s: ok=%v done=%v", n, w, ok, done)
+		}
+		if ack := c.result(w, lease.Shard, lease.Gen, lease.Start, []byte("garbage")); ack.OK {
+			t.Fatalf("corrupt payload from %s merged", w)
+		}
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("sweep not settled after the only shard poisoned")
+	}
+	if err := c.Err(); err == nil {
+		t.Fatal("poisoned sweep reported success")
+	}
+	st := c.Stats()
+	if st.ShardsPoisoned != 1 || st.Corrupt != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, _, done := c.grant("w4"); !done {
+		t.Fatal("grant after settlement did not report done")
+	}
+}
+
+// TestMaxShardLease: heartbeats alone cannot hold a shard forever — the
+// lifetime cap reclaims a slow-loris lease that pings but never
+// produces.
+func TestMaxShardLease(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	c := newTestCoord(t, 2, 2, clk) // MaxShardLease defaults to 10×TTL = 100s
+
+	lease, ok, _ := c.grant("loris")
+	if !ok {
+		t.Fatal("no grant")
+	}
+	for i := 0; i < 19; i++ { // 95s of dutiful heartbeats, zero results
+		clk.Advance(5 * time.Second)
+		if ack := c.heartbeat("loris", lease.Shard, lease.Gen); !ack.OK {
+			t.Fatalf("heartbeat %d refused early: %s", i, ack.Reason)
+		}
+	}
+	clk.Advance(6 * time.Second) // 101s > cap
+	if ack := c.heartbeat("loris", lease.Shard, lease.Gen); ack.OK {
+		t.Fatal("heartbeat beyond the lifetime cap succeeded")
+	}
+	if st := c.Stats(); st.Reclaimed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestMergeConflict: a re-delivered point must match the merged bytes
+// exactly; different bytes mean one of the two workers is corrupt, and
+// the one still talking loses its lease.
+func TestMergeConflict(t *testing.T) {
+	clk := NewFakeClock(time.Unix(1000, 0))
+	c := newTestCoord(t, 2, 2, clk)
+
+	lease, _, _ := c.grant("w1")
+	if ack := c.result("w1", lease.Shard, lease.Gen, 0, payloadFor(0)); !ack.OK {
+		t.Fatalf("merge refused: %s", ack.Reason)
+	}
+	clk.Advance(11 * time.Second)
+	c.reclaimExpired()
+	clk.Advance(time.Minute)
+	lease2, ok, _ := c.grant("w2")
+	if !ok {
+		t.Fatal("no regrant")
+	}
+	// Same bytes: consistent duplicate, acknowledged.
+	if ack := c.result("w2", lease2.Shard, lease2.Gen, 0, payloadFor(0)); !ack.OK {
+		t.Fatalf("consistent re-delivery refused: %s", ack.Reason)
+	}
+	// Different bytes for a merged point: lease lost.
+	if ack := c.result("w2", lease2.Shard, lease2.Gen, 1, payloadFor(0)); ack.OK {
+		t.Fatal("conflicting bytes accepted")
+	}
+	if st := c.Stats(); st.Corrupt != 1 || st.Merged != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// testJob adapts payloadFor into a cluster.Job for local execution.
+type testJob struct{ points int }
+
+func (j testJob) Points() int { return j.points }
+func (j testJob) Execute(_ context.Context, i int) ([]byte, error) {
+	return payloadFor(i), nil
+}
+func (j testJob) Validate(i int, payload []byte) error {
+	if !bytes.Equal(payload, payloadFor(i)) {
+		return fmt.Errorf("payload %q", payload)
+	}
+	return nil
+}
+
+// TestZeroWorkerDegradation: a coordinator with no workers at all
+// completes the sweep through its local executor.
+func TestZeroWorkerDegradation(t *testing.T) {
+	job := testJob{points: 9}
+	c, err := NewCoordinator(CoordinatorConfig{
+		Spec:      []byte(`{"kind":"test"}`),
+		Points:    job.points,
+		ShardSize: 2,
+		LeaseTTL:  2 * time.Second,
+		Validate:  job.Validate,
+		Local:     job,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Run(ctx); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, p := range c.Results() {
+		if !bytes.Equal(p, payloadFor(i)) {
+			t.Fatalf("point %d = %q", i, p)
+		}
+	}
+	if st := c.Stats(); st.Merged != 9 || st.ShardsDone != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}

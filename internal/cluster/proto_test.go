@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range payloads {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, fResult, p); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+		typ, got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if typ != fResult || !bytes.Equal(got, p) {
+			t.Fatalf("round trip: type %d payload %d bytes, want type %d payload %d bytes", typ, len(got), fResult, len(p))
+		}
+	}
+}
+
+// TestFrameRejectsCorruption walks every corruption class the decoder
+// must refuse: wrong magic, wrong version, unknown type, nonzero flags,
+// oversized length, flipped payload bit (CRC), truncated payload.
+func TestFrameRejectsCorruption(t *testing.T) {
+	frame := func() []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, fHeartbeat, []byte(`{"shard":1,"gen":2,"completed":0}`)); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name    string
+		corrupt func(b []byte) []byte
+		wantErr string
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, "magic"},
+		{"bad version", func(b []byte) []byte { b[4] = ProtoVersion + 1; return b }, "version"},
+		{"unknown type", func(b []byte) []byte {
+			b[5] = fBye + 1
+			return b
+		}, "frame type"},
+		{"nonzero flags", func(b []byte) []byte { b[6] = 0x80; return b }, "flags"},
+		{"oversized length", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[8:12], MaxPayload+1)
+			return b
+		}, "exceeds limit"},
+		{"flipped payload bit", func(b []byte) []byte { b[headerSize] ^= 0x01; return b }, "CRC"},
+		{"flipped crc", func(b []byte) []byte { b[12] ^= 0x01; return b }, "CRC"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-3] }, "truncated"},
+		{"truncated header", func(b []byte) []byte { return b[:headerSize-2] }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.corrupt(frame())
+			_, _, err := readFrame(bytes.NewReader(b))
+			if err == nil {
+				t.Fatalf("decoded a corrupted frame")
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestFrameGarbageStream(t *testing.T) {
+	// Pure garbage: decoder must reject at the magic, not wander.
+	_, _, err := readFrame(bytes.NewReader(bytes.Repeat([]byte{0x5A}, 64)))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("garbage stream decoded: %v", err)
+	}
+	// Empty stream: clean EOF, the no-more-frames signal.
+	if _, _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeMsgRejectsUnknownFields(t *testing.T) {
+	var hb hbMsg
+	if err := decodeMsg([]byte(`{"shard":1,"gen":2,"completed":0,"extra":true}`), &hb); err == nil {
+		t.Fatal("decoded a message with unknown fields")
+	}
+	if err := decodeMsg([]byte(`{"shard":1,"gen":2,"completed":3}`), &hb); err != nil {
+		t.Fatalf("decodeMsg: %v", err)
+	}
+	if hb.Shard != 1 || hb.Gen != 2 || hb.Completed != 3 {
+		t.Fatalf("decoded %+v", hb)
+	}
+}
+
+func TestResultFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"schema":"hyve/result/v1"}`)
+	b := encodeResultFrame(7, 3, 42, payload)
+	shard, gen, index, got, err := decodeResultFrame(b)
+	if err != nil {
+		t.Fatalf("decodeResultFrame: %v", err)
+	}
+	if shard != 7 || gen != 3 || index != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("decoded shard=%d gen=%d index=%d payload=%q", shard, gen, index, got)
+	}
+	if _, _, _, _, err := decodeResultFrame(b[:10]); err == nil {
+		t.Fatal("decoded a short result frame")
+	}
+	var forged [resultHeaderSize]byte
+	binary.BigEndian.PutUint64(forged[16:24], 1<<50) // absurd index
+	if _, _, _, _, err := decodeResultFrame(forged[:]); err == nil {
+		t.Fatal("decoded a result frame with a forged index")
+	}
+}

@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// WorkerConfig configures one worker connection.
+type WorkerConfig struct {
+	// Name identifies the worker in coordinator logs and per-worker
+	// metrics ("" = "worker").
+	Name string
+	// Factory builds the Job from the coordinator's spec; required.
+	Factory JobFactory
+	// Parallel is how many points of a lease execute concurrently
+	// (0 = GOMAXPROCS via parallel.ForEachCtx).
+	Parallel int
+	// Backoff paces lease re-polls while the coordinator has no
+	// eligible work. Zero value = parallel package defaults.
+	Backoff parallel.Backoff
+	// ChaosDelay, when positive, sleeps this long after computing each
+	// point before reporting it — a fault-injection knob that holds
+	// leases open so harnesses can kill the worker mid-lease.
+	ChaosDelay time.Duration
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (cfg WorkerConfig) logf(format string, args ...any) {
+	if cfg.Logf != nil {
+		cfg.Logf(format, args...)
+	}
+}
+
+// rpc serializes request/response exchanges over the worker's single
+// connection: the heartbeat goroutine and concurrent point goroutines
+// all funnel through one write-frame-then-read-frame critical section,
+// so responses can never interleave across requests.
+type rpc struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (r *rpc) call(typ byte, payload []byte) (byte, []byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := writeFrame(r.conn, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	return readFrame(r.conn)
+}
+
+// callAck performs one request expecting an ack response. The returned
+// error is a connection-level failure; a refusal arrives as ack.OK ==
+// false.
+func (r *rpc) callAck(typ byte, payload []byte) (ackMsg, error) {
+	rtyp, body, err := r.call(typ, payload)
+	if err != nil {
+		return ackMsg{}, err
+	}
+	if rtyp != fAck {
+		return ackMsg{}, fmt.Errorf("cluster: expected ack, got frame type %d", rtyp)
+	}
+	var ack ackMsg
+	if err := decodeMsg(body, &ack); err != nil {
+		return ackMsg{}, err
+	}
+	return ack, nil
+}
+
+func (r *rpc) callAckMsg(typ byte, req any) (ackMsg, error) {
+	payload, err := encodeMsg(req)
+	if err != nil {
+		return ackMsg{}, err
+	}
+	return r.callAck(typ, payload)
+}
+
+// errLeaseLost marks a lease the coordinator refused mid-flight — the
+// shard was reclaimed from under us (or our bytes were judged corrupt).
+// The lease is abandoned; the connection is still good.
+var errLeaseLost = errors.New("cluster: lease lost")
+
+// RunWorker speaks the worker side of the protocol over conn:
+// handshake, then lease → execute → stream results → shard done,
+// repeating until the coordinator reports the sweep finished, ctx is
+// cancelled, or the connection fails. done reports whether the sweep
+// finished — the caller's cue to exit instead of redialling.
+func RunWorker(ctx context.Context, conn net.Conn, cfg WorkerConfig) (done bool, err error) {
+	if cfg.Factory == nil {
+		return false, errors.New("cluster: worker needs a job factory")
+	}
+	defer conn.Close()
+	r := &rpc{conn: conn}
+
+	hello, err := encodeMsg(helloMsg{Name: cfg.Name, Pid: pid()})
+	if err != nil {
+		return false, err
+	}
+	typ, payload, err := r.call(fHello, hello)
+	if err != nil {
+		return false, fmt.Errorf("cluster: handshake failed: %w", err)
+	}
+	if typ != fJob {
+		return false, fmt.Errorf("cluster: expected job frame, got type %d", typ)
+	}
+	var job jobMsg
+	if err := decodeMsg(payload, &job); err != nil {
+		return false, err
+	}
+	j, err := cfg.Factory([]byte(job.Spec))
+	if err != nil {
+		return false, fmt.Errorf("cluster: building job from spec: %w", err)
+	}
+	if j.Points() != job.Points {
+		return false, fmt.Errorf("cluster: job disagrees on sweep size: local %d points, coordinator %d", j.Points(), job.Points)
+	}
+	heartbeat := time.Duration(job.HeartbeatMS) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = DefaultLeaseTTL / 4
+	}
+
+	idle := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		typ, payload, err := r.call(fLeaseReq, nil)
+		if err != nil {
+			return false, err
+		}
+		switch typ {
+		case fNoWork:
+			var nw noWorkMsg
+			if err := decodeMsg(payload, &nw); err != nil {
+				return false, err
+			}
+			if nw.Done {
+				writeFrame(r.conn, fBye, nil) // best effort; the sweep is over either way
+				return true, nil
+			}
+			// Nothing eligible right now (all shards leased, or pending
+			// behind reassignment backoff): poll again after a capped
+			// jittered delay, never hotter than the coordinator's hint.
+			delay := cfg.Backoff.Delay(idle)
+			if hint := time.Duration(nw.RetryMS) * time.Millisecond; delay < hint {
+				delay = hint
+			}
+			idle++
+			select {
+			case <-ctx.Done():
+				return false, ctx.Err()
+			case <-time.After(delay):
+			}
+		case fLease:
+			idle = 0
+			var lease leaseMsg
+			if err := decodeMsg(payload, &lease); err != nil {
+				return false, err
+			}
+			if lease.Start < 0 || lease.End > job.Points || lease.Start >= lease.End {
+				return false, fmt.Errorf("cluster: lease range [%d, %d) outside sweep of %d points", lease.Start, lease.End, job.Points)
+			}
+			cfg.logf("cluster: leased shard %d gen %d [%d, %d)", lease.Shard, lease.Gen, lease.Start, lease.End)
+			if err := runLease(ctx, r, j, lease, heartbeat, cfg); err != nil {
+				if errors.Is(err, errLeaseLost) || errors.Is(err, errPointFailed) {
+					// Lease-level failure on a healthy connection:
+					// loop around and ask for fresh work.
+					cfg.logf("cluster: lease on shard %d ended early: %v", lease.Shard, err)
+					continue
+				}
+				return false, err
+			}
+		default:
+			return false, fmt.Errorf("cluster: expected lease or no-work, got frame type %d", typ)
+		}
+	}
+}
+
+// errPointFailed marks a lease abandoned because one of its points
+// failed to execute; the coordinator was told via fPointErr.
+var errPointFailed = errors.New("cluster: point execution failed")
+
+// runLease executes one lease: a heartbeat goroutine keeps it alive
+// while the points execute (optionally in parallel) and stream back in
+// canonical form. Any error that isn't errLeaseLost/errPointFailed is
+// connection-fatal.
+func runLease(ctx context.Context, r *rpc, j Job, lease leaseMsg, heartbeat time.Duration, cfg WorkerConfig) error {
+	leaseCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-leaseCtx.Done():
+				return
+			case <-t.C:
+			}
+			ack, err := r.callAckMsg(fHeartbeat, hbMsg{Shard: lease.Shard, Gen: lease.Gen})
+			if err != nil {
+				cancel(err)
+				return
+			}
+			if !ack.OK {
+				cancel(errLeaseLost)
+				return
+			}
+		}
+	}()
+
+	n := lease.End - lease.Start
+	runErr := parallel.ForEachCtx(leaseCtx, cfg.Parallel, n, parallel.Options{}, func(k int) error {
+		i := lease.Start + k
+		payload, execErr := j.Execute(leaseCtx, i)
+		if execErr != nil {
+			if leaseCtx.Err() != nil {
+				return context.Cause(leaseCtx)
+			}
+			// Report the failure so the coordinator's poison accounting
+			// sees it, then abandon the lease.
+			if _, err := r.callAckMsg(fPointErr, pointErrMsg{Shard: lease.Shard, Gen: lease.Gen, Index: i, Err: execErr.Error()}); err != nil {
+				cancel(err)
+				return err
+			}
+			cancel(errPointFailed)
+			return fmt.Errorf("%w: point %d: %v", errPointFailed, i, execErr)
+		}
+		if cfg.ChaosDelay > 0 {
+			select {
+			case <-leaseCtx.Done():
+				return context.Cause(leaseCtx)
+			case <-time.After(cfg.ChaosDelay):
+			}
+		}
+		ack, err := r.callAck(fResult, encodeResultFrame(lease.Shard, lease.Gen, i, payload))
+		if err != nil {
+			cancel(err)
+			return err
+		}
+		if !ack.OK {
+			cancel(errLeaseLost)
+			return errLeaseLost
+		}
+		return nil
+	})
+	cancel(nil)
+	hbWG.Wait()
+	if runErr != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		return runErr
+	}
+	ack, err := r.callAckMsg(fShardDone, hbMsg{Shard: lease.Shard, Gen: lease.Gen, Completed: n})
+	if err != nil {
+		return err
+	}
+	if !ack.OK {
+		return errLeaseLost
+	}
+	cfg.logf("cluster: shard %d done", lease.Shard)
+	return nil
+}

@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff defaults, used wherever the corresponding field is zero.
+const (
+	DefaultBackoffBase   = 50 * time.Millisecond
+	DefaultBackoffCap    = 2 * time.Second
+	DefaultBackoffJitter = 0.5
+)
+
+// Backoff is the shared capped jittered exponential delay schedule for
+// retrying failed work: the pool's per-point retries, the cluster
+// coordinator's shard reassignments, and a worker's reconnect loop all
+// draw their delays from it. Attempt k (0-based) waits roughly
+// Base·2^k, capped at Cap, with the top Jitter fraction of each delay
+// randomized so independent retriers (different points, different
+// shards, different workers) decorrelate instead of stampeding in
+// lockstep.
+//
+// The jitter is deterministic: it derives from (Seed, attempt) alone
+// via a splitmix64 hash, so a given schedule is reproducible — use
+// ForKey to give each retrier its own decorrelated stream. Determinism
+// matters here the same way it does everywhere else in this repo: a
+// retry schedule observed in a failure report can be replayed exactly.
+//
+// The zero value is ready to use with the package defaults.
+type Backoff struct {
+	// Base is the delay before the first re-attempt (0 = DefaultBackoffBase).
+	Base time.Duration
+	// Cap bounds any single delay (0 = DefaultBackoffCap).
+	Cap time.Duration
+	// Jitter is the fraction of each delay that is randomized, in [0, 1]:
+	// attempt k waits in [d·(1−Jitter), d] for d the capped exponential
+	// delay. 0 means DefaultBackoffJitter; negative disables jitter.
+	Jitter float64
+	// Seed selects the deterministic jitter stream (see ForKey).
+	Seed uint64
+	// After is the timer Wait sleeps on; nil means time.After. Tests
+	// inject a fake to pin the schedule without real sleeping.
+	After func(time.Duration) <-chan time.Time
+}
+
+// ForKey returns a copy of b whose jitter stream is decorrelated by
+// key: every shard, point index, or worker retrying under the same
+// policy should pass its own key so their jittered delays spread out.
+func (b Backoff) ForKey(key uint64) Backoff {
+	b.Seed = splitmix64(b.Seed ^ (key + 0x9E3779B97F4A7C15))
+	return b
+}
+
+// Delay returns the delay before re-attempt number attempt (0-based):
+// capped exponential growth from Base with deterministic jitter.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, cap, jitter := b.Base, b.Cap, b.Jitter
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	switch {
+	case jitter == 0:
+		jitter = DefaultBackoffJitter
+	case jitter < 0:
+		jitter = 0
+	case jitter > 1:
+		jitter = 1
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if jitter > 0 {
+		// u in [0, 1) from the (Seed, attempt) hash: the delay lands in
+		// [d·(1−jitter), d], never above the cap.
+		u := float64(splitmix64(b.Seed^uint64(attempt))>>11) / float64(1<<53)
+		d = time.Duration(float64(d) * (1 - jitter*u))
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Wait sleeps for Delay(attempt), returning early with ctx.Err() if the
+// context is cancelled first.
+func (b Backoff) Wait(ctx context.Context, attempt int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	after := b.After
+	if after == nil {
+		after = time.After
+	}
+	select {
+	case <-after(b.Delay(attempt)):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// splitmix64 is the standard 64-bit finalizing hash, giving each
+// (Seed, attempt) pair an independent uniform draw without any shared
+// mutable RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

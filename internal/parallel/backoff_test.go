@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelaySchedule pins the capped exponential shape: with
+// jitter disabled the sequence is exactly Base·2^k clamped at Cap.
+func TestBackoffDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for k, w := range want {
+		if got := b.Delay(k); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", k, got, w*time.Millisecond)
+		}
+	}
+}
+
+// TestBackoffJitterBoundedAndDeterministic: jittered delays stay in
+// [d·(1−j), d], never exceed the cap, and replay exactly for the same
+// (Seed, attempt) while differing across ForKey streams.
+func TestBackoffJitterBoundedAndDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: 0.5, Seed: 7}
+	for k := 0; k < 12; k++ {
+		d := b.Delay(k)
+		full := Backoff{Base: b.Base, Cap: b.Cap, Jitter: -1}.Delay(k)
+		if d > full || d < time.Duration(float64(full)*0.5) {
+			t.Errorf("Delay(%d) = %v outside [%v, %v]", k, d, time.Duration(float64(full)*0.5), full)
+		}
+		if d != b.Delay(k) {
+			t.Errorf("Delay(%d) not deterministic", k)
+		}
+	}
+	if b.ForKey(1).Delay(3) == b.ForKey(2).Delay(3) {
+		t.Error("ForKey streams should decorrelate jitter")
+	}
+}
+
+// TestBackoffWaitFakeClock drives Wait through an injected timer: the
+// requested delays must follow the schedule without any real sleeping,
+// pinning that ForEachOpt's retry loop actually waits between attempts.
+func TestBackoffWaitFakeClock(t *testing.T) {
+	var asked []time.Duration
+	fired := make(chan time.Time)
+	close(fired)
+	b := Backoff{
+		Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond, Jitter: -1,
+		After: func(d time.Duration) <-chan time.Time { asked = append(asked, d); return fired },
+	}
+
+	fail := errors.New("transient")
+	attempts := 0
+	err := ForEachOpt(1, 1, Options{Retries: 3, Backoff: b}, func(i int) error {
+		attempts++
+		if attempts < 3 {
+			return fail
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEachOpt = %v, want success on third attempt", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(asked) != len(want) {
+		t.Fatalf("timer asked for %v, want %v", asked, want)
+	}
+	for i := range want {
+		if asked[i] != want[i] {
+			t.Errorf("backoff %d = %v, want %v", i, asked[i], want[i])
+		}
+	}
+}
+
+// TestBackoffWaitHonorsCancellation: a cancelled context ends the wait
+// immediately, and a cancellation mid-backoff stops the retry loop with
+// the point's own error (not ctx.Err()).
+func TestBackoffWaitHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Backoff{Base: time.Hour, Jitter: -1}
+	if err := b.Wait(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait under cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	fail := errors.New("persistent")
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	attempts := 0
+	err := ForEachCtx(ctx2, 1, 1, Options{
+		Retries: 5,
+		Backoff: Backoff{Base: time.Hour, Jitter: -1, After: func(d time.Duration) <-chan time.Time {
+			cancel2() // cancelled while backing off: no further attempts
+			return make(chan time.Time)
+		}},
+	}, func(i int) error { attempts++; return fail })
+	if !errors.Is(err, fail) {
+		t.Fatalf("err = %v, want the point's own error", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (cancellation stops retrying)", attempts)
+	}
+}

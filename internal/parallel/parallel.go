@@ -58,6 +58,12 @@ type Options struct {
 	// reported unchanged — and rescues points hit by transient host
 	// conditions (file-system hiccups, memory pressure kills).
 	Retries int
+	// Backoff schedules the delay between a point's attempts (capped
+	// jittered exponential, decorrelated per point index). The zero
+	// value applies the package defaults; retries used to fire
+	// back-to-back with zero delay, which turned a transient host
+	// condition into an instant triple-failure.
+	Backoff Backoff
 }
 
 // ForEach runs fn(i) for every i in [0, n) on at most
@@ -130,6 +136,12 @@ func ForEachCtx(ctx context.Context, workers, n int, opt Options, fn func(i int)
 		start := time.Now()
 		err := attempt(i)
 		for r := 0; err != nil && r < opt.Retries; r++ {
+			// Back off before the re-attempt; a cancellation mid-backoff
+			// means no more attempts, and the point's own error stands
+			// (it did genuinely fail).
+			if opt.Backoff.ForKey(uint64(i)).Wait(ctx, r) != nil {
+				break
+			}
 			rec.Count("parallel.points.retried", 1)
 			err = attempt(i)
 		}
